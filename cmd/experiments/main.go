@@ -1,0 +1,140 @@
+// Command experiments regenerates the paper's evaluation: every table and
+// figure of §4 plus the design-choice ablations, printing rows/series in
+// the paper's shape next to the published values where the paper gives
+// them.
+//
+// Usage:
+//
+//	experiments table1                 # contention-free latencies
+//	experiments fig13                  # kernel speedups
+//	experiments fig14                  # application speedups
+//	experiments fig15-18               # NC + utilization + delay figures
+//	experiments table3                 # false remote requests
+//	experiments ablation               # SC locking on/off (§2.3's 2% claim)
+//	experiments all
+//
+// The -procs flag trims the speedup sweeps (default 1,2,4,8,16,32,64) and
+// -scale scales problem sizes (1 = defaults from EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"numachine/internal/core"
+	"numachine/internal/experiments"
+	"numachine/internal/workloads"
+)
+
+func main() {
+	procsFlag := flag.String("procs", "1,2,4,8,16,32,64", "processor counts for speedup sweeps")
+	scale := flag.Int("scale", 1, "problem size multiplier for speedup sweeps")
+	flag.Parse()
+	what := flag.Arg(0)
+	if what == "" {
+		what = "all"
+	}
+
+	var procs []int
+	for _, f := range strings.Split(*procsFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(err)
+		}
+		procs = append(procs, v)
+	}
+
+	cfg := core.DefaultConfig()
+	run := func(name string, fn func() error) {
+		switch what {
+		case "all", name:
+			if err := fn(); err != nil {
+				fatal(fmt.Errorf("%s: %w", name, err))
+			}
+			fmt.Println()
+		}
+	}
+
+	run("table1", func() error {
+		rows, err := experiments.Table1(cfg)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+		return nil
+	})
+
+	speedups := func(names []string, figure string) error {
+		fmt.Printf("%s: parallel speedup (paper's Figure %s shape: see EXPERIMENTS.md)\n", figure, figure[3:])
+		for _, name := range names {
+			size := experiments.SpeedupSizes()[name] * *scale
+			pts, err := experiments.Speedup(cfg, name, size, procs)
+			if err != nil {
+				return err
+			}
+			experiments.PrintSpeedup(os.Stdout, name, pts)
+		}
+		return nil
+	}
+	run("fig13", func() error { return speedups(workloads.Kernels(), "fig13") })
+	run("fig14", func() error { return speedups(workloads.Applications(), "fig14") })
+
+	run("fig15-18", func() error {
+		runs, err := experiments.NCFigures(cfg, cfg.Geom.Procs())
+		if err != nil {
+			return err
+		}
+		experiments.PrintFig15(os.Stdout, runs)
+		fmt.Println()
+		experiments.PrintFig16(os.Stdout, runs)
+		fmt.Println()
+		experiments.PrintFig17(os.Stdout, runs)
+		fmt.Println()
+		experiments.PrintFig18(os.Stdout, runs)
+		return nil
+	})
+
+	run("table3", func() error {
+		// False remote requests need NC ejections: measure both with the
+		// prototype's 4 MB NC (paper setting: rates ~0) and with a small NC
+		// that makes the recovery mechanism visible.
+		small := cfg
+		small.Params.NCLines = 512
+		rows, err := experiments.Table3(small, small.Geom.Procs())
+		if err != nil {
+			return err
+		}
+		fmt.Println("(512-line network cache, forcing ejections)")
+		experiments.PrintTable3(os.Stdout, rows)
+		big := cfg
+		rows, err = experiments.Table3(big, big.Geom.Procs())
+		if err != nil {
+			return err
+		}
+		fmt.Println("(prototype 4 MB network cache — the paper's setting)")
+		experiments.PrintTable3(os.Stdout, rows)
+		return nil
+	})
+
+	run("ablation", func() error {
+		names := []string{"radix", "lu-contig", "ocean", "water-nsq"}
+		res, err := experiments.AblationSCLocking(cfg, cfg.Geom.Procs(), names)
+		if err != nil {
+			return err
+		}
+		fmt.Println("sequential-consistency locking ablation (§2.3: paper reports ~2%)")
+		fmt.Printf("%-14s %12s %12s %10s\n", "Workload", "SC on", "SC off", "Delta")
+		for _, r := range res {
+			fmt.Printf("%-14s %12d %12d %+9.2f%%\n", r.Workload, r.OnCycles, r.OffCycles, r.Delta())
+		}
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

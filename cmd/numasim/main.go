@@ -1,0 +1,96 @@
+// Command numasim runs one workload on a configured NUMAchine and prints
+// the monitoring results: cycle counts, network cache effectiveness,
+// communication path utilizations and ring interface delays.
+//
+// Usage:
+//
+//	numasim -workload radix -procs 64 -size 16384
+//	numasim -workload barnes -procs 16 -stations 2 -rings 2
+//	numasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"numachine/internal/core"
+	"numachine/internal/topo"
+	"numachine/internal/workloads"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "radix", "workload to run (see -list)")
+		procs    = flag.Int("procs", 64, "number of processors to use")
+		size     = flag.Int("size", 0, "problem size (0 = workload default)")
+		pps      = flag.Int("procs-per-station", 4, "processors per station")
+		spr      = flag.Int("stations-per-ring", 4, "stations per local ring")
+		rings    = flag.Int("rings", 4, "local rings on the central ring")
+		l2       = flag.Int("l2-lines", 16384, "secondary cache lines per processor")
+		nc       = flag.Int("nc-lines", 65536, "network cache lines per station")
+		firstT   = flag.Bool("first-touch", false, "first-touch page placement (default round robin)")
+		noSC     = flag.Bool("no-sc-locking", false, "disable sequential-consistency locking (§2.3 ablation)")
+		list     = flag.Bool("list", false, "list available workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.Geom = topo.Geometry{ProcsPerStation: *pps, StationsPerRing: *spr, Rings: *rings}
+	cfg.Params.L2Lines = *l2
+	cfg.Params.NCLines = *nc
+	cfg.Params.SCLocking = !*noSC
+	if *firstT {
+		cfg.Placement = core.FirstTouch
+	}
+
+	m, err := core.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := workloads.Build(*workload, m, *procs, *size)
+	if err != nil {
+		fatal(err)
+	}
+	m.Load(inst.Progs)
+	cycles := m.Run()
+	if err := inst.Check(); err != nil {
+		fatal(fmt.Errorf("result check failed: %w", err))
+	}
+	if err := m.CheckCoherence(); err != nil {
+		fatal(fmt.Errorf("coherence check failed: %w", err))
+	}
+
+	r := m.Results()
+	p := cfg.Params
+	fmt.Printf("workload         %s (size default=%v) on %d processors\n", inst.Name, *size == 0, *procs)
+	fmt.Printf("geometry         %d procs/station x %d stations/ring x %d rings\n",
+		cfg.Geom.ProcsPerStation, cfg.Geom.StationsPerRing, cfg.Geom.Rings)
+	fmt.Printf("parallel section %d cycles (%.2f ms at %d MHz)\n",
+		cycles, p.CyclesToNS(cycles)/1e6, p.CPUClockMHz)
+	fmt.Printf("references       %d reads, %d writes (L1 %d, L2 %d, misses %d, upgrades %d)\n",
+		r.Proc.Reads, r.Proc.Writes, r.Proc.L1Hits, r.Proc.L2Hits, r.Proc.Misses, r.Proc.Upgrades)
+	fmt.Printf("stalls           %d memory, %d barrier cycles (all processors)\n",
+		r.Proc.StallCycles, r.Proc.BarrierCycles)
+	fmt.Printf("network cache    hit %.1f%% (migration %.1f%%, caching %.1f%%), combining %.1f%%, false remote %.3f%%\n",
+		100*r.NC.HitRate(), 100*r.NC.MigrationRate(), 100*r.NC.CachingRate(),
+		100*r.NC.CombiningRate(), 100*r.NC.FalseRemoteRate())
+	fmt.Printf("utilization      bus %.1f%%, local rings %.1f%%, central ring %.1f%%\n",
+		100*r.BusUtil, 100*r.LocalRingUtil, 100*r.CentralRingUtil)
+	fmt.Printf("ring delays      send %.1f, down sink %.1f, down nonsink %.1f, IRI up %.1f cycles\n",
+		r.RISendDelay, r.RIDownSink, r.RIDownNonsink, r.IRIUpDelay)
+	fmt.Printf("memory           %d transactions, %d invalidation multicasts, %d NAKs, %d optimistic acks\n",
+		r.Mem.Transactions, r.Mem.InvalidatesSent, r.Mem.NAKs, r.Mem.OptimisticAcks)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "numasim:", err)
+	os.Exit(1)
+}

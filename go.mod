@@ -1,0 +1,3 @@
+module numachine
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package bus models the NUMAchine station bus: a single shared,
+// arbitrated interconnect joining the processors, the memory module, the
+// network cache and the local ring interface of one station. The prototype
+// used FutureBus mechanicals with custom control; here the relevant
+// behaviour is arbitration latency, command/data occupancy, and the
+// single-transaction forwarding used by interventions (one bus transfer
+// observed by both the memory/NC and the requesting processor).
+package bus
+
+import (
+	"numachine/internal/monitor"
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+// Module is anything attached to the station bus.
+type Module interface {
+	// BusOut exposes the module's outgoing queue; the arbiter drains it.
+	BusOut() *sim.Queue[*msg.Message]
+	// BusDeliver hands the module a message that crossed the bus.
+	BusDeliver(m *msg.Message, now int64)
+}
+
+// Bus is one station's bus with round-robin arbitration.
+type Bus struct {
+	g       topo.Geometry
+	p       sim.Params
+	modules []Module
+	outs    []*sim.Queue[*msg.Message] // cached BusOut queues (hot path)
+	station int
+
+	busyUntil int64
+	inFlight  *msg.Message
+	rr        int // round-robin arbitration pointer
+
+	// Util reproduces the bus utilization measurement of Figure 17.
+	Util monitor.Utilization
+	// Transfers counts completed bus transactions.
+	Transfers monitor.Counter
+}
+
+// New creates the bus for one station. Modules must be registered with
+// Attach in bus-module-index order before the first Tick.
+func New(g topo.Geometry, p sim.Params, station int) *Bus {
+	return &Bus{
+		g: g, p: p, station: station,
+		modules: make([]Module, g.ModCount()),
+		outs:    make([]*sim.Queue[*msg.Message], g.ModCount()),
+	}
+}
+
+// Attach registers the module at bus index idx.
+func (b *Bus) Attach(idx int, m Module) {
+	b.modules[idx] = m
+	b.outs[idx] = m.BusOut()
+}
+
+// Tick advances the bus one cycle: finish an in-flight transfer, then
+// arbitrate among modules with pending output.
+func (b *Bus) Tick(now int64) {
+	b.Util.Tick(now < b.busyUntil)
+	if now < b.busyUntil {
+		return
+	}
+	if b.inFlight != nil {
+		b.deliver(b.inFlight, now)
+		b.inFlight = nil
+	}
+	// Round-robin arbitration.
+	n := len(b.modules)
+	for i := 0; i < n; i++ {
+		idx := (b.rr + i) % n
+		q := b.outs[idx]
+		if q == nil || q.Empty() {
+			continue
+		}
+		m, ok := q.Pop(now)
+		if !ok {
+			continue
+		}
+		cost := b.p.BusArbCycles + b.p.BusCmdCycles
+		if m.Type.CarriesData() {
+			cost += b.p.BusDataCycles
+		}
+		b.busyUntil = now + int64(cost)
+		b.inFlight = m
+		b.rr = (idx + 1) % n
+		b.Transfers.Inc()
+		return
+	}
+}
+
+// deliver routes a completed transfer to its destination module(s).
+func (b *Bus) deliver(m *msg.Message, now int64) {
+	if m.DstMod == b.g.ModRI() {
+		// Network-bound: hand to the ring interface untouched; the
+		// processor multicasts below apply only at the final station.
+		b.modules[m.DstMod].BusDeliver(m, now)
+		return
+	}
+	switch m.Type {
+	case msg.BusInval, msg.BusIntervention, msg.NetInterrupt, msg.NetBarrier:
+		// Multicast to the processors named in BusProcs.
+		for i := 0; i < b.g.ProcsPerStation; i++ {
+			if m.BusProcs&(1<<uint(i)) != 0 {
+				b.modules[b.g.ModProc(i)].BusDeliver(m, now)
+			}
+		}
+		return
+	case msg.IntervResp:
+		// A single transfer observed by the memory/NC and, when AlsoProc is
+		// set, by the requesting processor (§2.3: the owner "forwards a copy
+		// of the cache line to the requesting processor and to the memory").
+		if m.AlsoProc >= 0 && m.AlsoProc < b.g.ProcsPerStation {
+			b.modules[b.g.ModProc(m.AlsoProc)].BusDeliver(m, now)
+		}
+	}
+	if tgt := b.modules[m.DstMod]; tgt != nil {
+		tgt.BusDeliver(m, now)
+	}
+}
+
+// Busy reports whether a transfer is occupying the bus.
+func (b *Bus) Busy(now int64) bool { return now < b.busyUntil }
+
+// Idle reports whether the bus has neither an occupying transfer nor an
+// undelivered completed one.
+func (b *Bus) Idle(now int64) bool { return !b.Busy(now) && b.inFlight == nil }

@@ -1,0 +1,149 @@
+package bus
+
+import (
+	"testing"
+
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+// stubModule records deliveries and exposes an output queue.
+type stubModule struct {
+	out      *sim.Queue[*msg.Message]
+	received []*msg.Message
+}
+
+func newStub() *stubModule { return &stubModule{out: sim.NewQueue[*msg.Message](0)} }
+
+func (s *stubModule) BusOut() *sim.Queue[*msg.Message] { return s.out }
+func (s *stubModule) BusDeliver(m *msg.Message, now int64) {
+	s.received = append(s.received, m)
+}
+
+func build(t *testing.T) (*Bus, []*stubModule, topo.Geometry) {
+	t.Helper()
+	g := topo.Geometry{ProcsPerStation: 4, StationsPerRing: 4, Rings: 1}
+	p := sim.DefaultParams()
+	b := New(g, p, 0)
+	mods := make([]*stubModule, g.ModCount())
+	for i := range mods {
+		mods[i] = newStub()
+		b.Attach(i, mods[i])
+	}
+	return b, mods, g
+}
+
+func run(b *Bus, from, cycles int64) int64 {
+	for i := int64(0); i < cycles; i++ {
+		b.Tick(from)
+		from++
+	}
+	return from
+}
+
+func TestCommandTransfer(t *testing.T) {
+	b, mods, g := build(t)
+	mods[0].out.Push(&msg.Message{Type: msg.LocalRead, DstMod: g.ModMem()}, 0)
+	run(b, 0, 20)
+	if len(mods[g.ModMem()].received) != 1 {
+		t.Fatal("command not delivered to memory")
+	}
+}
+
+func TestDataTransferTakesLonger(t *testing.T) {
+	b, mods, g := build(t)
+	p := sim.DefaultParams()
+	cmdCost := int64(p.BusArbCycles + p.BusCmdCycles)
+	mods[0].out.Push(&msg.Message{Type: msg.ProcData, DstMod: 1}, 0)
+	run(b, 0, cmdCost+1)
+	if len(mods[1].received) != 0 {
+		t.Fatal("data transfer completed in command time")
+	}
+	run(b, cmdCost+1, int64(p.BusDataCycles)+2)
+	if len(mods[1].received) != 1 {
+		t.Fatal("data transfer never completed")
+	}
+	_ = g
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	b, mods, g := build(t)
+	// Processors 0 and 1 each queue 5 commands; deliveries must interleave.
+	for i := 0; i < 5; i++ {
+		mods[0].out.Push(&msg.Message{Type: msg.LocalRead, Line: uint64(i), DstMod: g.ModMem()}, 0)
+		mods[1].out.Push(&msg.Message{Type: msg.LocalRead, Line: 100 + uint64(i), DstMod: g.ModMem()}, 0)
+	}
+	run(b, 0, 200)
+	recv := mods[g.ModMem()].received
+	if len(recv) != 10 {
+		t.Fatalf("delivered %d, want 10", len(recv))
+	}
+	// With round robin, no source sends twice in a row while the other waits.
+	for i := 1; i < len(recv); i++ {
+		if recv[i].Line < 100 == (recv[i-1].Line < 100) {
+			t.Fatalf("consecutive grants to one module at %d: %v %v", i, recv[i-1].Line, recv[i].Line)
+		}
+	}
+}
+
+func TestBusInvalMulticast(t *testing.T) {
+	b, mods, g := build(t)
+	mods[g.ModMem()].out.Push(&msg.Message{
+		Type: msg.BusInval, DstMod: 0, BusProcs: 0b1010,
+	}, 0)
+	run(b, 0, 20)
+	for i := 0; i < 4; i++ {
+		want := 0
+		if i == 1 || i == 3 {
+			want = 1
+		}
+		if len(mods[i].received) != want {
+			t.Errorf("proc %d received %d invalidations, want %d", i, len(mods[i].received), want)
+		}
+	}
+}
+
+func TestIntervRespSnarfing(t *testing.T) {
+	b, mods, g := build(t)
+	// Owner proc 2 responds; memory is the target, proc 1 snarfs.
+	mods[2].out.Push(&msg.Message{
+		Type: msg.IntervResp, DstMod: g.ModMem(), AlsoProc: 1, Data: 9, HasData: true,
+	}, 0)
+	run(b, 0, 30)
+	if len(mods[g.ModMem()].received) != 1 {
+		t.Error("memory missed the intervention response")
+	}
+	if len(mods[1].received) != 1 {
+		t.Error("requester failed to snarf the response off the bus")
+	}
+	if len(mods[0].received) != 0 {
+		t.Error("uninvolved processor observed the response")
+	}
+}
+
+func TestUtilizationTracksOccupancy(t *testing.T) {
+	b, mods, g := build(t)
+	mods[0].out.Push(&msg.Message{Type: msg.ProcData, DstMod: g.ModMem()}, 0)
+	run(b, 0, 100)
+	u := b.Util.Value()
+	if u <= 0 || u >= 0.5 {
+		t.Errorf("utilization %v, want a small positive fraction", u)
+	}
+	if b.Transfers.Value() != 1 {
+		t.Errorf("transfers = %d", b.Transfers.Value())
+	}
+}
+
+func TestIdleAccountsForInFlight(t *testing.T) {
+	b, mods, g := build(t)
+	mods[0].out.Push(&msg.Message{Type: msg.LocalRead, DstMod: g.ModMem()}, 0)
+	b.Tick(0) // grabs the message; delivery pends
+	if b.Idle(100) {
+		t.Error("bus with undelivered in-flight message claims idle")
+	}
+	run(b, 1, 20)
+	if !b.Idle(21) {
+		t.Error("drained bus not idle")
+	}
+}

@@ -1,0 +1,493 @@
+// Package core assembles the NUMAchine: stations (processors, memory,
+// network cache, ring interface, bus) joined by the two-level ring
+// hierarchy, plus the shared-memory allocator, page placement policies,
+// the barrier controller, the deterministic cycle loop, and the coherence
+// invariant checker used by the test suite.
+package core
+
+import (
+	"fmt"
+
+	"numachine/internal/bus"
+	"numachine/internal/memory"
+	"numachine/internal/monitor"
+	"numachine/internal/msg"
+	"numachine/internal/netcache"
+	"numachine/internal/proc"
+	"numachine/internal/ring"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+// Placement selects the physical page placement policy.
+type Placement uint8
+
+const (
+	// RoundRobin assigns page p to station p mod stations — the paper's
+	// (deliberately pessimistic) evaluation setting.
+	RoundRobin Placement = iota
+	// FirstTouch assigns a page to the station of the first processor that
+	// references it.
+	FirstTouch
+)
+
+// Config describes one machine instance.
+type Config struct {
+	Geom      topo.Geometry
+	Params    sim.Params
+	L1Lines   int // primary-cache timing filter size (0 disables)
+	Placement Placement
+}
+
+// DefaultConfig returns the 64-processor prototype configuration.
+func DefaultConfig() Config {
+	return Config{
+		Geom:      topo.Prototype,
+		Params:    sim.DefaultParams(),
+		L1Lines:   256, // 16 KB / 64 B, R4400 on-chip data cache
+		Placement: RoundRobin,
+	}
+}
+
+// Machine is one simulated NUMAchine.
+type Machine struct {
+	Cfg Config
+
+	g topo.Geometry
+	p sim.Params
+
+	CPUs    []*proc.CPU
+	Buses   []*bus.Bus
+	Mems    []*memory.Module
+	NCs     []*netcache.Module
+	RIs     []*ring.StationRI
+	IRIs    []*ring.IRI
+	Locals  []*ring.Ring
+	Central *ring.Ring
+
+	credits *ring.Credits
+	runners []*proc.Runner
+
+	now      int64
+	heapNext uint64
+	pageHome map[uint64]int // FirstTouch assignments
+
+	barrier  barrierCtl
+	Phases   *monitor.PhaseIDs
+	deadlock int64
+}
+
+// New builds a machine from cfg.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Geom.Validate(); err != nil {
+		return nil, err
+	}
+	g, p := cfg.Geom, cfg.Params
+	m := &Machine{
+		Cfg:      cfg,
+		g:        g,
+		p:        p,
+		pageHome: make(map[uint64]int),
+		heapNext: uint64(p.PageSize), // keep address 0 unused
+		Phases:   monitor.NewPhaseIDs(g.Procs()),
+	}
+	m.credits = ring.NewCredits(g.Stations(), p.MaxNonsinkable)
+
+	for s := 0; s < g.Stations(); s++ {
+		m.Buses = append(m.Buses, bus.New(g, p, s))
+		m.Mems = append(m.Mems, memory.New(g, p, s))
+		m.NCs = append(m.NCs, netcache.New(g, p, s))
+		m.RIs = append(m.RIs, ring.NewStationRI(g, p, s, m.credits))
+	}
+	m.runners = make([]*proc.Runner, g.Procs())
+	for id := 0; id < g.Procs(); id++ {
+		cpu := proc.New(g, p, id, nil, cfg.L1Lines)
+		cpu.HomeOf = m.homeOfFor(cpu)
+		cpu.OnBarrier = m.barrierArrive
+		cpu.OnPhase = func(c *proc.CPU, ph uint8) { m.Phases.Set(c.GlobalID, ph) }
+		m.CPUs = append(m.CPUs, cpu)
+	}
+	for s := 0; s < g.Stations(); s++ {
+		b := m.Buses[s]
+		for i := 0; i < g.ProcsPerStation; i++ {
+			b.Attach(g.ModProc(i), m.CPUs[g.ProcAt(s, i)])
+		}
+		b.Attach(g.ModMem(), m.Mems[s])
+		b.Attach(g.ModNC(), m.NCs[s])
+		b.Attach(g.ModRI(), m.RIs[s])
+	}
+	m.buildRings()
+	return m, nil
+}
+
+// buildRings wires the ring hierarchy: each local ring carries its
+// stations (plus an inter-ring interface when there is a central ring);
+// the sequencing point of a local ring is its IRI (§2.3), or node 0 on
+// single-ring machines.
+func (m *Machine) buildRings() {
+	g, p := m.g, m.p
+	multi := g.Rings > 1
+	var centralNodes []ring.Node
+	for r := 0; r < g.Rings; r++ {
+		var nodes []ring.Node
+		for pos := 0; pos < g.StationsPerRing; pos++ {
+			nodes = append(nodes, m.RIs[g.StationAt(r, pos)])
+		}
+		seq := 0
+		if multi {
+			iri := ring.NewIRI(p, r)
+			m.IRIs = append(m.IRIs, iri)
+			nodes = append(nodes, iri.LocalPort())
+			centralNodes = append(centralNodes, iri.CentralPort())
+			seq = len(nodes) - 1
+		}
+		m.Locals = append(m.Locals, ring.New(fmt.Sprintf("local-%d", r), p, nodes, seq, false))
+	}
+	if multi {
+		m.Central = ring.New("central", p, centralNodes, 0, true)
+	}
+}
+
+// Geometry returns the machine geometry.
+func (m *Machine) Geometry() topo.Geometry { return m.g }
+
+// Params returns the timing parameters.
+func (m *Machine) Params() sim.Params { return m.p }
+
+// Now returns the current cycle.
+func (m *Machine) Now() int64 { return m.now }
+
+// ---- address space ----
+
+// LineOf aligns addr to its cache line.
+func (m *Machine) LineOf(addr uint64) uint64 { return addr &^ (uint64(m.p.LineSize) - 1) }
+
+// Alloc reserves size bytes of shared memory and returns the base address.
+// Allocations are line-aligned; page homes follow the placement policy.
+func (m *Machine) Alloc(size int) uint64 {
+	if size <= 0 {
+		panic("core: Alloc with non-positive size")
+	}
+	base := m.heapNext
+	ls := uint64(m.p.LineSize)
+	m.heapNext += (uint64(size) + ls - 1) &^ (ls - 1)
+	return base
+}
+
+// AllocLines reserves n whole cache lines.
+func (m *Machine) AllocLines(n int) uint64 { return m.Alloc(n * m.p.LineSize) }
+
+// AllocAt reserves size bytes placed entirely on the given station,
+// overriding the placement policy (page-aligned).
+func (m *Machine) AllocAt(station, size int) uint64 {
+	ps := uint64(m.p.PageSize)
+	if rem := m.heapNext % ps; rem != 0 {
+		m.heapNext += ps - rem
+	}
+	base := m.heapNext
+	m.heapNext += (uint64(size) + ps - 1) &^ (ps - 1)
+	for pg := base / ps; pg <= (m.heapNext-1)/ps; pg++ {
+		m.pageHome[pg] = station
+	}
+	return base
+}
+
+// HomeOf returns the home station of the line containing addr.
+func (m *Machine) HomeOf(addr uint64) int {
+	pg := addr / uint64(m.p.PageSize)
+	if s, ok := m.pageHome[pg]; ok {
+		return s
+	}
+	if m.Cfg.Placement == RoundRobin {
+		s := int(pg % uint64(m.g.Stations()))
+		m.pageHome[pg] = s
+		return s
+	}
+	// FirstTouch without a toucher: fall back to round robin.
+	s := int(pg % uint64(m.g.Stations()))
+	m.pageHome[pg] = s
+	return s
+}
+
+// homeOfFor builds the per-CPU home resolver, implementing first-touch
+// assignment when configured.
+func (m *Machine) homeOfFor(c *proc.CPU) func(uint64) int {
+	return func(line uint64) int {
+		pg := line / uint64(m.p.PageSize)
+		if s, ok := m.pageHome[pg]; ok {
+			return s
+		}
+		var s int
+		if m.Cfg.Placement == FirstTouch {
+			s = c.Station
+		} else {
+			s = int(pg % uint64(m.g.Stations()))
+		}
+		m.pageHome[pg] = s
+		return s
+	}
+}
+
+// ---- barrier controller ----
+
+// barrierCtl implements the hardware barrier-register synchronization of
+// §3.2: arrival is a multicast register write; once every participant has
+// arrived, releases propagate with a ring-traversal latency.
+type barrierCtl struct {
+	participants int
+	arrived      []*proc.CPU
+	releases     []barrierRelease
+}
+
+type barrierRelease struct {
+	cpu *proc.CPU
+	at  int64
+}
+
+func (m *Machine) barrierArrive(c *proc.CPU, now int64) {
+	m.barrier.arrived = append(m.barrier.arrived, c)
+	if len(m.barrier.arrived) < m.barrier.participants {
+		return
+	}
+	// All arrived: release everyone after a multicast traversal delay.
+	delay := m.barrierLatency()
+	for _, cpu := range m.barrier.arrived {
+		m.barrier.releases = append(m.barrier.releases, barrierRelease{cpu: cpu, at: now + delay})
+	}
+	m.barrier.arrived = m.barrier.arrived[:0]
+}
+
+// barrierLatency approximates the multicast of barrier-register writes:
+// one traversal of the ring hierarchy.
+func (m *Machine) barrierLatency() int64 {
+	hops := m.g.StationsPerRing + 1
+	if m.g.Rings > 1 {
+		hops += m.g.Rings + m.g.StationsPerRing + 1
+	}
+	return int64(hops*m.p.RingHopCycles + 2*m.p.BusArbCycles + 2*m.p.BusCmdCycles)
+}
+
+func (m *Machine) fireBarriers() {
+	if len(m.barrier.releases) == 0 {
+		return
+	}
+	kept := m.barrier.releases[:0]
+	for _, r := range m.barrier.releases {
+		if r.at <= m.now {
+			r.cpu.FinishBarrier(m.now)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	m.barrier.releases = kept
+}
+
+// ---- run loop ----
+
+// Load assigns programs to the first len(progs) processors. It must be
+// called before Run; the remaining processors stay idle.
+func (m *Machine) Load(progs []proc.Program) {
+	if len(progs) > len(m.CPUs) {
+		panic(fmt.Sprintf("core: %d programs for %d processors", len(progs), len(m.CPUs)))
+	}
+	m.barrier.participants = len(progs)
+	for i := range m.runners {
+		m.runners[i] = nil // drop runners from a previous phase
+	}
+	for i, pr := range progs {
+		m.runners[i] = proc.NewRunner(i, len(progs), pr)
+		m.CPUs[i].SetRunner(m.runners[i])
+	}
+}
+
+// Step advances the machine one cycle in the fixed deterministic order:
+// processors, buses, memory modules, network caches, ring interfaces,
+// rings.
+func (m *Machine) Step() {
+	now := m.now
+	m.fireBarriers()
+	for _, c := range m.CPUs {
+		c.Tick(now)
+	}
+	for _, b := range m.Buses {
+		b.Tick(now)
+	}
+	for _, mem := range m.Mems {
+		mem.Tick(now)
+	}
+	for _, nc := range m.NCs {
+		nc.Tick(now)
+	}
+	for _, ri := range m.RIs {
+		ri.Tick(now)
+	}
+	for _, lr := range m.Locals {
+		lr.Tick(now)
+	}
+	if m.Central != nil {
+		m.Central.Tick(now)
+	}
+	if now&31 == 0 {
+		for _, iri := range m.IRIs {
+			iri.Observe()
+		}
+	}
+	m.now++
+}
+
+// Run executes until every loaded program finishes, returning the cycle
+// count of the parallel section (max completion time). It panics if the
+// deadlock watchdog trips.
+func (m *Machine) Run() int64 {
+	start := m.now
+	active := func() bool {
+		for _, r := range m.runners {
+			if r != nil && !r.Done() {
+				return true
+			}
+		}
+		return false
+	}
+	lastRefs, lastAt := int64(-1), m.now
+	for active() {
+		m.Step()
+		if m.p.DeadlockCycles > 0 && m.now-lastAt >= m.p.DeadlockCycles {
+			refs := m.totalRefs()
+			if refs == lastRefs {
+				panic(fmt.Sprintf("core: no progress for %d cycles at cycle %d\n%s",
+					m.p.DeadlockCycles, m.now, m.dumpState()))
+			}
+			lastRefs, lastAt = refs, m.now
+		}
+	}
+	end := int64(0)
+	for i, r := range m.runners {
+		if r != nil && m.CPUs[i].FinishedAt() > end {
+			end = m.CPUs[i].FinishedAt()
+		}
+	}
+	m.Drain()
+	_ = start
+	return end - start
+}
+
+// Drain runs the machine until all queues, rings and controllers are
+// empty, so post-run invariant checks see a quiesced system.
+func (m *Machine) Drain() {
+	limit := m.now + 10_000_000
+	for !m.Quiesced() {
+		m.Step()
+		if m.now > limit {
+			panic("core: machine failed to drain\n" + m.dumpState())
+		}
+	}
+}
+
+// Quiesced reports whether no messages remain anywhere in the machine.
+func (m *Machine) Quiesced() bool {
+	for _, mem := range m.Mems {
+		if !mem.Idle() || mem.PendingLocks() > 0 {
+			return false
+		}
+	}
+	for _, nc := range m.NCs {
+		if !nc.Idle() {
+			return false
+		}
+	}
+	for _, ri := range m.RIs {
+		if !ri.Idle() {
+			return false
+		}
+	}
+	for _, iri := range m.IRIs {
+		if !iri.Idle() {
+			return false
+		}
+	}
+	for _, lr := range m.Locals {
+		if !lr.Drained() {
+			return false
+		}
+	}
+	if m.Central != nil && !m.Central.Drained() {
+		return false
+	}
+	for _, b := range m.Buses {
+		if !b.Idle(m.now) {
+			return false
+		}
+	}
+	for _, c := range m.CPUs {
+		if !c.BusOut().Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Machine) totalRefs() int64 {
+	var n int64
+	for _, c := range m.CPUs {
+		n += c.Stats.Reads.Value() + c.Stats.Writes.Value()
+	}
+	return n
+}
+
+func (m *Machine) dumpState() string {
+	s := ""
+	for i, mem := range m.Mems {
+		if locks := mem.PendingLocks(); locks > 0 || !mem.Idle() {
+			s += fmt.Sprintf("mem[%d]: locks=%d idle=%v\n", i, locks, mem.Idle())
+		}
+	}
+	for i, nc := range m.NCs {
+		if !nc.Idle() {
+			s += fmt.Sprintf("nc[%d]: busy\n", i)
+		}
+	}
+	for i, ri := range m.RIs {
+		if !ri.Idle() {
+			sk, nsk, in := ri.QueueStats()
+			s += fmt.Sprintf("ri[%d]: not idle (sink enq=%d nonsink enq=%d in enq=%d) credits=%d\n",
+				i, sk.Enqueued, nsk.Enqueued, in.Enqueued, m.credits.InFlight(i))
+		}
+	}
+	for i, lr := range m.Locals {
+		if !lr.Drained() {
+			s += fmt.Sprintf("local ring %d: %d packets in slots, stalls=%d\n", i, lr.Occupied(), lr.Stalls.Value())
+		}
+	}
+	if m.Central != nil && !m.Central.Drained() {
+		s += fmt.Sprintf("central ring: %d packets in slots, stalls=%d\n", m.Central.Occupied(), m.Central.Stalls.Value())
+	}
+	for i, iri := range m.IRIs {
+		if !iri.Idle() {
+			s += fmt.Sprintf("iri[%d]: up=%d down=%d\n", i, iri.UpStats().Enqueued, iri.DownStats().Enqueued)
+		}
+	}
+	for i := 0; i < m.g.Stations(); i++ {
+		if n := m.credits.InFlight(i); n > 0 {
+			s += fmt.Sprintf("credits[%d]: %d nonsinkable in flight\n", i, n)
+		}
+	}
+	for i, c := range m.CPUs {
+		if !c.Done() {
+			s += fmt.Sprintf("cpu[%d] st=%d: %s\n", i, c.Station, c.Pending())
+			line := m.LineOf(c.PendingLine())
+			home := m.HomeOf(line)
+			st, lk, mask, procs, _ := m.Mems[home].Peek(line)
+			s += fmt.Sprintf("  mem[%d]: %v locked=%v %v procs=%04b %s\n", home, st, lk, mask, procs, m.Mems[home].TxnInfo(line))
+			if c.Station != home {
+				if ncs, nlk, npr, _, ok := m.NCs[c.Station].Peek(line); ok {
+					s += fmt.Sprintf("  nc[%d]: %v locked=%v procs=%04b %s\n", c.Station, ncs, nlk, npr, m.NCs[c.Station].TxnInfo(line))
+				} else {
+					s += fmt.Sprintf("  nc[%d]: NotIn %s\n", c.Station, m.NCs[c.Station].TxnInfo(line))
+				}
+			}
+		}
+	}
+	return s
+}
+
+var _ = msg.Invalid // keep the import while the package grows

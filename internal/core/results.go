@@ -1,0 +1,210 @@
+package core
+
+// Results aggregates the machine's monitoring hardware into the metrics
+// the paper reports: communication path utilizations (Figure 17), ring
+// interface delays (Figure 18), network cache effectiveness (Figures 15
+// and 16, Table 3) and overall traffic counts.
+type Results struct {
+	Cycles int64
+
+	// Figure 17: average utilization of communication paths.
+	BusUtil         float64 // averaged over stations
+	LocalRingUtil   float64 // averaged over local rings
+	CentralRingUtil float64
+
+	// Figure 18a: local ring interface delays (cycles).
+	RISendDelay   float64
+	RIDownSink    float64
+	RIDownNonsink float64
+	// Figure 18b: central ring (inter-ring interface) upward-path delay.
+	IRIUpDelay   float64
+	IRIDownDelay float64
+
+	NC   NCResults
+	Mem  MemResults
+	Proc ProcResults
+}
+
+// NCResults aggregates network cache statistics across stations.
+type NCResults struct {
+	Requests      int64
+	HitsMigration int64
+	HitsCaching   int64
+	LocalInterv   int64
+	Combined      int64
+	Conflicts     int64
+	RemoteFetches int64
+	Retries       int64
+	FalseRemotes  int64
+	SpecialWrReqs int64
+	Ejections     int64
+	EjectWrBacks  int64
+	EjectLISilent int64
+}
+
+// HitRate is Figure 15's metric: requests satisfied locally (NC hits plus
+// local interventions) over total non-retry requests.
+func (n NCResults) HitRate() float64 {
+	if n.Requests == 0 {
+		return 0
+	}
+	return float64(n.HitsMigration+n.HitsCaching+n.LocalInterv) / float64(n.Requests)
+}
+
+// MigrationRate and CachingRate decompose the hit rate (Figure 15).
+func (n NCResults) MigrationRate() float64 {
+	if n.Requests == 0 {
+		return 0
+	}
+	return float64(n.HitsMigration) / float64(n.Requests)
+}
+
+// CachingRate is the caching-effect share of the hit rate.
+func (n NCResults) CachingRate() float64 {
+	if n.Requests == 0 {
+		return 0
+	}
+	return float64(n.HitsCaching+n.LocalInterv) / float64(n.Requests)
+}
+
+// CombiningRate is Figure 16's metric: concurrent same-line requests
+// masked out by a pending fetch, relative to all non-retry requests.
+func (n NCResults) CombiningRate() float64 {
+	if n.Requests == 0 {
+		return 0
+	}
+	return float64(n.Combined) / float64(n.Requests)
+}
+
+// FalseRemoteRate is Table 3's metric: the fraction of local requests to
+// the NC that caused a false remote request to the home memory.
+func (n NCResults) FalseRemoteRate() float64 {
+	if n.Requests == 0 {
+		return 0
+	}
+	return float64(n.FalseRemotes) / float64(n.Requests)
+}
+
+// MemResults aggregates memory module statistics across stations.
+type MemResults struct {
+	Transactions     int64
+	NAKs             int64
+	InvalidatesSent  int64
+	Interventions    int64
+	OptimisticAcks   int64
+	UpgradeDataSends int64
+	SpecialWrServed  int64
+	FalseRemotes     int64
+}
+
+// ProcResults aggregates processor statistics.
+type ProcResults struct {
+	Reads, Writes  int64
+	L1Hits, L2Hits int64
+	Misses         int64
+	Upgrades       int64
+	WriteBacks     int64
+	NAKRetries     int64
+	StallCycles    int64
+	BarrierCycles  int64
+}
+
+// Results snapshots the machine's monitors.
+func (m *Machine) Results() Results {
+	r := Results{Cycles: m.now}
+	for _, b := range m.Buses {
+		r.BusUtil += b.Util.Value()
+	}
+	r.BusUtil /= float64(len(m.Buses))
+	for _, lr := range m.Locals {
+		r.LocalRingUtil += lr.Util.Value()
+	}
+	r.LocalRingUtil /= float64(len(m.Locals))
+	if m.Central != nil {
+		r.CentralRingUtil = m.Central.Util.Value()
+	}
+
+	var sendN, downSinkN, downNonsinkN float64
+	for _, ri := range m.RIs {
+		if n := ri.SendDelay.Count(); n > 0 {
+			r.RISendDelay += ri.SendDelay.Mean() * float64(n)
+			sendN += float64(n)
+		}
+		if n := ri.DownSink.Count(); n > 0 {
+			r.RIDownSink += ri.DownSink.Mean() * float64(n)
+			downSinkN += float64(n)
+		}
+		if n := ri.DownNonsink.Count(); n > 0 {
+			r.RIDownNonsink += ri.DownNonsink.Mean() * float64(n)
+			downNonsinkN += float64(n)
+		}
+	}
+	if sendN > 0 {
+		r.RISendDelay /= sendN
+	}
+	if downSinkN > 0 {
+		r.RIDownSink /= downSinkN
+	}
+	if downNonsinkN > 0 {
+		r.RIDownNonsink /= downNonsinkN
+	}
+	var upN, downN float64
+	for _, iri := range m.IRIs {
+		if n := iri.UpDelay.Count(); n > 0 {
+			r.IRIUpDelay += iri.UpDelay.Mean() * float64(n)
+			upN += float64(n)
+		}
+		if n := iri.DownDelay.Count(); n > 0 {
+			r.IRIDownDelay += iri.DownDelay.Mean() * float64(n)
+			downN += float64(n)
+		}
+	}
+	if upN > 0 {
+		r.IRIUpDelay /= upN
+	}
+	if downN > 0 {
+		r.IRIDownDelay /= downN
+	}
+
+	for _, nc := range m.NCs {
+		s := &nc.Stats
+		r.NC.Requests += s.Requests.Value()
+		r.NC.HitsMigration += s.HitsMigration.Value()
+		r.NC.HitsCaching += s.HitsCaching.Value()
+		r.NC.LocalInterv += s.LocalInterv.Value()
+		r.NC.Combined += s.Combined.Value()
+		r.NC.Conflicts += s.Conflicts.Value()
+		r.NC.RemoteFetches += s.RemoteFetches.Value()
+		r.NC.Retries += s.Retries.Value()
+		r.NC.FalseRemotes += s.FalseRemotes.Value()
+		r.NC.SpecialWrReqs += s.SpecialWrReqs.Value()
+		r.NC.Ejections += s.Ejections.Value()
+		r.NC.EjectWrBacks += s.EjectWrBacks.Value()
+		r.NC.EjectLISilent += s.EjectLISilent.Value()
+	}
+	for _, mem := range m.Mems {
+		s := &mem.Stats
+		r.Mem.Transactions += s.Transactions.Value()
+		r.Mem.NAKs += s.NAKs.Value()
+		r.Mem.InvalidatesSent += s.InvalidatesSent.Value()
+		r.Mem.Interventions += s.Interventions.Value()
+		r.Mem.OptimisticAcks += s.OptimisticAcks.Value()
+		r.Mem.UpgradeDataSends += s.UpgradeDataSends.Value()
+		r.Mem.SpecialWrServed += s.SpecialWrServed.Value()
+		r.Mem.FalseRemotes += s.FalseRemotes.Value()
+	}
+	for _, c := range m.CPUs {
+		s := &c.Stats
+		r.Proc.Reads += s.Reads.Value()
+		r.Proc.Writes += s.Writes.Value()
+		r.Proc.L1Hits += s.L1Hits.Value()
+		r.Proc.L2Hits += s.L2Hits.Value()
+		r.Proc.Misses += s.Misses.Value()
+		r.Proc.Upgrades += s.Upgrades.Value()
+		r.Proc.WriteBacks += s.WriteBacks.Value()
+		r.Proc.NAKRetries += s.NAKRetries.Value()
+		r.Proc.StallCycles += s.StallCycles.Value()
+		r.Proc.BarrierCycles += s.BarrierCycles.Value()
+	}
+	return r
+}

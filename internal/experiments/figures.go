@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"numachine/internal/core"
+	"numachine/internal/workloads"
+)
+
+// SpeedupPoint is one point of a Figure 13/14 speedup curve.
+type SpeedupPoint struct {
+	Procs   int
+	Cycles  int64
+	Speedup float64
+}
+
+// RunResult bundles one workload execution.
+type RunResult struct {
+	Workload string
+	Procs    int
+	Cycles   int64
+	Results  core.Results
+}
+
+// runOne builds a fresh machine, runs the named workload and verifies both
+// the computation's result and the coherence invariants.
+func runOne(cfg core.Config, name string, nprocs, size int) (RunResult, error) {
+	m, err := core.New(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	inst, err := workloads.Build(name, m, nprocs, size)
+	if err != nil {
+		return RunResult{}, err
+	}
+	m.Load(inst.Progs)
+	cycles := m.Run()
+	if err := inst.Check(); err != nil {
+		return RunResult{}, fmt.Errorf("%s (p=%d): %w", name, nprocs, err)
+	}
+	if err := m.CheckCoherence(); err != nil {
+		return RunResult{}, fmt.Errorf("%s (p=%d): %w", name, nprocs, err)
+	}
+	return RunResult{Workload: name, Procs: nprocs, Cycles: cycles, Results: m.Results()}, nil
+}
+
+// Speedup measures the parallel speedup of one workload over the given
+// processor counts (Figures 13 and 14): T(1)/T(P) over the parallel
+// section, as in §4.3.
+func Speedup(cfg core.Config, name string, size int, procs []int) ([]SpeedupPoint, error) {
+	var out []SpeedupPoint
+	var t1 int64
+	for _, p := range procs {
+		r, err := runOne(cfg, name, p, size)
+		if err != nil {
+			return nil, err
+		}
+		if t1 == 0 {
+			if p != 1 {
+				return nil, fmt.Errorf("speedup: processor counts must start at 1, got %d", p)
+			}
+			t1 = r.Cycles
+		}
+		out = append(out, SpeedupPoint{Procs: p, Cycles: r.Cycles, Speedup: float64(t1) / float64(r.Cycles)})
+	}
+	return out, nil
+}
+
+// SpeedupSizes returns the default problem size for each workload in the
+// speedup sweeps: large enough for the curves to be meaningful, small
+// enough for single-host simulation (the scaling vs the paper's Table 2 is
+// recorded in EXPERIMENTS.md).
+func SpeedupSizes() map[string]int {
+	return map[string]int{
+		"radix": 65536, "fft": 16384,
+		"lu-contig": 192, "lu-noncontig": 192, "cholesky": 192,
+		"barnes": 1024, "ocean": 192,
+		"water-nsq": 256, "water-spatial": 256,
+		"fmm": 1024, "raytrace": 48, "radiosity": 256,
+	}
+}
+
+// NCFigures runs the six workloads of Figures 15-18 on the full machine
+// and returns their results; the NC hit/combining rates, path utilizations
+// and ring interface delays all derive from these runs.
+func NCFigures(cfg core.Config, nprocs int) ([]RunResult, error) {
+	sizes := SpeedupSizes()
+	var out []RunResult
+	for _, name := range workloads.NCWorkloads() {
+		r, err := runOne(cfg, name, nprocs, sizes[name])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// PrintFig15 renders the NC hit rate decomposition (Figure 15).
+func PrintFig15(w io.Writer, runs []RunResult) {
+	fmt.Fprintf(w, "Figure 15: network cache total hit rate (%% of non-retry requests)\n")
+	fmt.Fprintf(w, "%-14s %10s %12s %12s %12s\n", "Workload", "Hit rate", "Migration", "Caching", "LocalInterv")
+	for _, r := range runs {
+		nc := r.Results.NC
+		fmt.Fprintf(w, "%-14s %9.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+			r.Workload, 100*nc.HitRate(), 100*nc.MigrationRate(),
+			100*float64(nc.HitsCaching)/float64(max64(nc.Requests, 1)),
+			100*float64(nc.LocalInterv)/float64(max64(nc.Requests, 1)))
+	}
+}
+
+// PrintFig16 renders the NC combining rate (Figure 16).
+func PrintFig16(w io.Writer, runs []RunResult) {
+	fmt.Fprintf(w, "Figure 16: network cache combining rate\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %14s\n", "Workload", "Combined", "Requests", "Rate")
+	for _, r := range runs {
+		nc := r.Results.NC
+		fmt.Fprintf(w, "%-14s %12d %12d %13.1f%%\n",
+			r.Workload, nc.Combined, nc.Requests, 100*nc.CombiningRate())
+	}
+}
+
+// PrintFig17 renders communication path utilizations (Figure 17).
+func PrintFig17(w io.Writer, runs []RunResult) {
+	fmt.Fprintf(w, "Figure 17: average utilization of communication paths\n")
+	fmt.Fprintf(w, "%-14s %10s %12s %14s\n", "Workload", "Bus", "Local ring", "Central ring")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-14s %9.1f%% %11.1f%% %13.1f%%\n",
+			r.Workload, 100*r.Results.BusUtil, 100*r.Results.LocalRingUtil, 100*r.Results.CentralRingUtil)
+	}
+}
+
+// PrintFig18 renders the ring interface delays (Figure 18).
+func PrintFig18(w io.Writer, runs []RunResult) {
+	fmt.Fprintf(w, "Figure 18a: average local ring interface delays (cycles)\n")
+	fmt.Fprintf(w, "%-14s %8s %16s %14s\n", "Workload", "Send", "Down(nonsink)", "Down(sink)")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-14s %8.1f %16.1f %14.1f\n",
+			r.Workload, r.Results.RISendDelay, r.Results.RIDownNonsink, r.Results.RIDownSink)
+	}
+	fmt.Fprintf(w, "Figure 18b: average central ring (IRI) upward-path delay (cycles)\n")
+	fmt.Fprintf(w, "%-14s %8s\n", "Workload", "Up")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%-14s %8.1f\n", r.Workload, r.Results.IRIUpDelay)
+	}
+}
+
+// Table3Row is one row of the false-remote-request table.
+type Table3Row struct {
+	Workload     string
+	FalseRemotes int64
+	Requests     int64
+	Rate         float64 // percent
+	SpecialWr    int64   // §4.6's other rare case: optimistic-upgrade misfires
+}
+
+// Table3 measures the percentage of local NC requests that caused a false
+// remote request (§4.6). The effect needs NC ejections to occur, so the
+// caller should pass a configuration with a small network cache relative
+// to the working set (the paper's rates are per its 4 MB NC; EXPERIMENTS.md
+// records both settings).
+func Table3(cfg core.Config, nprocs int) ([]Table3Row, error) {
+	sizes := SpeedupSizes()
+	names := []string{"cholesky", "fmm", "ocean", "radiosity", "radix", "lu-contig", "water-nsq"}
+	var rows []Table3Row
+	for _, name := range names {
+		r, err := runOne(cfg, name, nprocs, sizes[name])
+		if err != nil {
+			return nil, err
+		}
+		nc := r.Results.NC
+		rows = append(rows, Table3Row{
+			Workload:     name,
+			FalseRemotes: nc.FalseRemotes,
+			Requests:     nc.Requests,
+			Rate:         100 * nc.FalseRemoteRate(),
+			SpecialWr:    nc.SpecialWrReqs,
+		})
+	}
+	return rows, nil
+}
+
+// PrintTable3 renders the false-remote-request rates.
+func PrintTable3(w io.Writer, rows []Table3Row) {
+	fmt.Fprintf(w, "Table 3: local NC requests causing false remote requests\n")
+	fmt.Fprintf(w, "%-14s %12s %12s %10s %12s\n", "Workload", "FalseRem", "Requests", "Rate", "SpecialWr")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12d %12d %9.3f%% %12d\n",
+			r.Workload, r.FalseRemotes, r.Requests, r.Rate, r.SpecialWr)
+	}
+}
+
+// AblationResult compares a design choice's on/off cycle counts.
+type AblationResult struct {
+	Workload  string
+	OnCycles  int64
+	OffCycles int64
+}
+
+// Delta returns the relative slowdown of "on" vs "off" in percent.
+func (a AblationResult) Delta() float64 {
+	return 100 * (float64(a.OnCycles) - float64(a.OffCycles)) / float64(a.OffCycles)
+}
+
+// AblationSCLocking measures the cost of the sequential-consistency
+// locking mechanism (§2.3 reports only a 2% overall difference).
+func AblationSCLocking(cfg core.Config, nprocs int, names []string) ([]AblationResult, error) {
+	sizes := SpeedupSizes()
+	var out []AblationResult
+	for _, name := range names {
+		on := cfg
+		on.Params.SCLocking = true
+		roff := cfg
+		roff.Params.SCLocking = false
+		a, err := runOne(on, name, nprocs, sizes[name])
+		if err != nil {
+			return nil, err
+		}
+		b, err := runOne(roff, name, nprocs, sizes[name])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, AblationResult{Workload: name, OnCycles: a.Cycles, OffCycles: b.Cycles})
+	}
+	return out, nil
+}
+
+// PrintSpeedup renders one speedup curve.
+func PrintSpeedup(w io.Writer, name string, pts []SpeedupPoint) {
+	fmt.Fprintf(w, "%-14s", name)
+	for _, p := range pts {
+		fmt.Fprintf(w, "  P=%-3d %6.2fx", p.Procs, p.Speedup)
+	}
+	fmt.Fprintln(w)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"numachine/internal/core"
+)
+
+func TestSpeedupShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long")
+	}
+	cfg := core.DefaultConfig()
+	for _, wl := range []string{"barnes", "ocean", "lu-contig", "radix"} {
+		pts, err := Speedup(cfg, wl, SpeedupSizes()[wl], []int{1, 16, 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		PrintSpeedup(os.Stdout, wl, pts)
+	}
+}

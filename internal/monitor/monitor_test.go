@@ -1,0 +1,85 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	var u Utilization
+	for i := 0; i < 10; i++ {
+		u.Tick(i < 3)
+	}
+	if u.Value() != 0.3 {
+		t.Errorf("utilization = %v, want 0.3", u.Value())
+	}
+	var empty Utilization
+	if empty.Value() != 0 {
+		t.Error("empty utilization must be 0")
+	}
+}
+
+func TestSampler(t *testing.T) {
+	var s Sampler
+	for _, v := range []int64{10, 20, 60} {
+		s.Sample(v)
+	}
+	if s.Count() != 3 || s.Mean() != 30 || s.Max() != 60 {
+		t.Errorf("sampler count=%d mean=%v max=%d", s.Count(), s.Mean(), s.Max())
+	}
+}
+
+func TestTableCellsAndTotals(t *testing.T) {
+	tb := NewTable("t", []string{"r0", "r1"}, []string{"c0", "c1", "c2"})
+	tb.Add(0, 1)
+	tb.Add(0, 1)
+	tb.Add(1, 2)
+	if tb.Cell(0, 1) != 2 || tb.Cell(1, 2) != 1 || tb.Cell(0, 0) != 0 {
+		t.Error("cell counts wrong")
+	}
+	if tb.RowTotal(0) != 2 || tb.Total() != 3 {
+		t.Errorf("row total %d total %d", tb.RowTotal(0), tb.Total())
+	}
+	if !strings.Contains(tb.String(), "r1") {
+		t.Error("rendering misses row labels")
+	}
+}
+
+func TestTableOverflowSwaps(t *testing.T) {
+	tb := NewTable("t", []string{"r"}, []string{"c"})
+	fired := 0
+	tb.SetOverflow(3, func(*Table) { fired++ })
+	for i := 0; i < 10; i++ {
+		tb.Add(0, 0)
+	}
+	// Counts stay exact across half swaps (the §3.3.2 mechanism).
+	if tb.Cell(0, 0) != 10 {
+		t.Errorf("cell = %d, want 10 across swaps", tb.Cell(0, 0))
+	}
+	if tb.Swaps() != 3 || fired != 3 {
+		t.Errorf("swaps = %d fired = %d, want 3", tb.Swaps(), fired)
+	}
+}
+
+func TestPhaseIDs(t *testing.T) {
+	p := NewPhaseIDs(4)
+	p.Set(2, 7)
+	if p.Phase(2) != 7 || p.Phase(0) != 0 {
+		t.Error("phase registers wrong")
+	}
+	p.Attribute(2)
+	p.Attribute(2)
+	p.Attribute(0)
+	if p.PhaseCount(7) != 2 || p.PhaseCount(0) != 1 || p.PhaseCount(9) != 0 {
+		t.Errorf("phase counts %d %d %d", p.PhaseCount(7), p.PhaseCount(0), p.PhaseCount(9))
+	}
+}

@@ -1,0 +1,67 @@
+package msg
+
+import "testing"
+
+func TestSinkableClassification(t *testing.T) {
+	// §2.4: nonsinkable messages are those that elicit responses — all
+	// request and intervention types; everything else can always be sunk.
+	nonsinkable := []Type{RemRead, RemReadEx, RemUpgd, SpecialWrReq,
+		NetIntervShared, NetIntervEx, KillReq}
+	for _, ty := range nonsinkable {
+		if ty.Sinkable() {
+			t.Errorf("%v must be nonsinkable", ty)
+		}
+	}
+	sinkable := []Type{NetData, NetDataEx, NetUpgdAck, NetNAK, NetWBCopy,
+		NetXferDone, RemWrBack, Invalidate, NetInterrupt, NetBarrier,
+		FalseRemoteResp, NetIntervMiss, BlockXfer}
+	for _, ty := range sinkable {
+		if !ty.Sinkable() {
+			t.Errorf("%v must be sinkable", ty)
+		}
+	}
+}
+
+func TestCarriesData(t *testing.T) {
+	withData := []Type{ProcData, ProcDataEx, IntervResp, NetData, NetDataEx,
+		NetWBCopy, RemWrBack, BlockXfer, LocalWrBack}
+	for _, ty := range withData {
+		if !ty.CarriesData() {
+			t.Errorf("%v must carry a line payload", ty)
+		}
+	}
+	without := []Type{LocalRead, RemRead, RemUpgd, NetUpgdAck, NetNAK,
+		Invalidate, ProcUpgdAck, ProcNAK, BusInval, BusIntervention,
+		IntervMiss, NetIntervShared, NetIntervEx, NetXferDone}
+	for _, ty := range without {
+		if ty.CarriesData() {
+			t.Errorf("%v must not carry a payload", ty)
+		}
+	}
+}
+
+func TestPacketCounts(t *testing.T) {
+	// Single packet for commands; 1 + packetsPerLine for line transfers
+	// (§2.2: "all data transfers that do not include the contents of a
+	// cache line require only a single packet").
+	m := &Message{Type: RemRead}
+	if n := m.Packets(4); n != 1 {
+		t.Errorf("command message uses %d packets, want 1", n)
+	}
+	d := &Message{Type: NetData}
+	if n := d.Packets(4); n != 5 {
+		t.Errorf("data message uses %d packets, want 5", n)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := LocalRead; ty <= BlockXfer; ty++ {
+		s := ty.String()
+		if s == "" || s[0] == 'T' && len(s) > 5 && s[:5] == "Type(" {
+			t.Errorf("type %d has no mnemonic", ty)
+		}
+	}
+	if Invalid.String() != "Type(0)" {
+		t.Errorf("Invalid renders as %q", Invalid.String())
+	}
+}

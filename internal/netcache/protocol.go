@@ -1,0 +1,697 @@
+package netcache
+
+import (
+	"fmt"
+
+	"numachine/internal/msg"
+)
+
+func (n *Module) allProcs() uint16 { return 1<<uint(n.g.ProcsPerStation) - 1 }
+
+func onlyBit(procs uint16) int {
+	for i := 0; i < 16; i++ {
+		if procs == 1<<uint(i) {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("netcache: processor mask %04b does not name exactly one owner", procs))
+}
+
+func popcount(v uint16) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+func (n *Module) handle(x *msg.Message, now int64) {
+	if n.p.TraceLine != 0 && x.Line == n.p.TraceLine {
+		snap := func() string {
+			e := n.lookup(x.Line)
+			if e == nil {
+				return "NotIn"
+			}
+			return fmt.Sprintf("%v locked=%v procs=%04b data=%#x", e.state, e.locked, e.procs, e.data)
+		}
+		pre := snap()
+		defer func() {
+			fmt.Printf("%8d  nc[%d] %-16s from st%d/mod%d txn=%d: %s -> %s\n",
+				now, n.Station, x.Type, x.SrcStation, x.SrcMod, x.TxnID, pre, snap())
+		}()
+	}
+	switch x.Type {
+	case msg.LocalRead, msg.LocalReadEx, msg.LocalUpgd:
+		n.localReq(x, now)
+	case msg.PrefetchReq:
+		n.prefetch(x, now)
+	case msg.LocalWrBack:
+		n.localWrBack(x, now)
+	case msg.IntervResp:
+		n.intervResp(x, now)
+	case msg.IntervMiss:
+		n.intervMiss(x, now)
+	case msg.NetData, msg.NetDataEx:
+		n.netData(x, now)
+	case msg.NetUpgdAck:
+		n.netUpgdAck(x, now)
+	case msg.NetNAK:
+		n.netNAK(x, now)
+	case msg.FalseRemoteResp:
+		n.falseRemote(x, now)
+	case msg.Invalidate:
+		n.invalidate(x, now)
+	case msg.NetIntervShared, msg.NetIntervEx:
+		n.netInterv(x, now)
+	default:
+		panic(fmt.Sprintf("netcache[%d]: unexpected message %v", n.Station, x))
+	}
+}
+
+// countHit classifies an NC hit per §4.5: data brought onto the station by
+// one processor and used by another is the migration effect; reuse by the
+// fetching processor (whose L2 dropped the line) is the caching effect.
+func (n *Module) countHit(e *entry, req int, retry bool) {
+	if retry {
+		return
+	}
+	if e.broughtBy >= 0 && e.broughtBy != req {
+		n.Stats.HitsMigration.Inc()
+	} else {
+		n.Stats.HitsCaching.Inc()
+	}
+}
+
+// localReq handles LocalRead, LocalReadEx and LocalUpgd from a processor.
+func (n *Module) localReq(x *msg.Message, now int64) {
+	req := x.SrcMod
+	bit := uint16(1) << uint(req)
+	e := n.lookup(x.Line)
+	n.recordHist(x.Type, e)
+	if !x.Retry {
+		n.Stats.Requests.Inc()
+	} else {
+		n.Stats.Retries.Inc()
+	}
+
+	if e == nil {
+		e = n.allocate(x.Line, x.Home, now)
+		if e == nil {
+			if !x.Retry {
+				n.Stats.Conflicts.Inc()
+			}
+			n.toProc(now, msg.ProcNAK, req, x.Line, 0, x.Type)
+			return
+		}
+		e.broughtBy = req
+		n.startFetch(e, x, now)
+		return
+	}
+	if e.locked {
+		if !x.Retry {
+			if e.txn != nil && e.txn.kind == txnFetch {
+				// A fetch for the same line is already outstanding: this
+				// request is combined with it (§4.5's combining effect).
+				n.Stats.Combined.Inc()
+			} else {
+				n.Stats.Conflicts.Inc()
+			}
+		}
+		n.toProc(now, msg.ProcNAK, req, x.Line, 0, x.Type)
+		return
+	}
+
+	switch e.state {
+	case LV, GV:
+		switch x.Type {
+		case msg.LocalRead:
+			n.countHit(e, req, x.Retry)
+			n.toProc(now, msg.ProcData, req, x.Line, e.data, 0)
+			e.procs |= bit
+		default: // LocalReadEx / LocalUpgd
+			if e.state == LV {
+				// Coherence localization (§4.5): valid copies exist only on
+				// this station, so ownership changes hands locally.
+				n.countHit(e, req, x.Retry)
+				n.busInval(now, x.Line, e.procs&^bit)
+				if x.Type == msg.LocalUpgd && e.procs&bit != 0 {
+					n.toProc(now, msg.ProcUpgdAck, req, x.Line, 0, 0)
+				} else {
+					n.toProc(now, msg.ProcDataEx, req, x.Line, e.data, 0)
+				}
+				e.procs = bit
+				e.state = LI
+				return
+			}
+			// GV: the NC holds valid data but ownership must come from the
+			// home memory; an acknowledgement-only upgrade suffices.
+			if !x.Retry {
+				n.Stats.RemoteFetches.Inc()
+			}
+			t := &txn{kind: txnFetch, origType: msg.RemUpgd, reqProc: req,
+				home: e.home, upgdAck: x.Type == msg.LocalUpgd && e.procs&bit != 0}
+			e.locked, e.txn = true, t
+			n.sendHome(now, msg.RemUpgd, x.Line, t)
+		}
+	case LI:
+		// A local secondary cache holds the line dirty: local intervention,
+		// no home traffic (§4.5).
+		if !x.Retry {
+			n.Stats.LocalInterv.Inc()
+		}
+		owner := onlyBit(e.procs)
+		if owner == req {
+			// The requester is the recorded owner but lost its copy (a
+			// misfired upgrade ack): re-supply from the NC.
+			n.toProc(now, msg.ProcDataEx, req, x.Line, e.data, 0)
+			return
+		}
+		t := &txn{kind: txnLocalInterv, origType: x.Type, reqProc: req, home: e.home, pending: 1}
+		e.locked, e.txn = true, t
+		n.busInterv(now, x.Line, 1<<uint(owner), req, x.Type != msg.LocalRead)
+		if x.Type == msg.LocalRead {
+			e.procs |= bit
+		} else {
+			e.procs = bit
+		}
+	case GI:
+		e.broughtBy = req
+		n.startFetch(e, x, now)
+	}
+}
+
+// prefetch pulls a line into the NC in the background (§3.1.4): a shared
+// fetch with no waiting processor. Hits, locked entries and conflicts are
+// silently dropped — prefetching is only a hint.
+func (n *Module) prefetch(x *msg.Message, now int64) {
+	n.Stats.Prefetches.Inc()
+	if e := n.lookup(x.Line); e != nil && (e.locked || e.state == LV || e.state == LI || e.state == GV) {
+		return // present or being fetched
+	}
+	e := n.allocate(x.Line, x.Home, now)
+	if e == nil {
+		return // conflict with a locked entry: drop the hint
+	}
+	e.broughtBy = x.SrcMod
+	t := &txn{kind: txnFetch, origType: msg.RemRead, reqProc: -1, home: e.home}
+	e.locked, e.txn = true, t
+	n.sendHome(now, msg.RemRead, x.Line, t)
+}
+
+// startFetch locks the entry and sends the appropriate request home.
+func (n *Module) startFetch(e *entry, x *msg.Message, now int64) {
+	if !x.Retry {
+		n.Stats.RemoteFetches.Inc()
+	}
+	req := x.SrcMod
+	var rt msg.Type
+	switch x.Type {
+	case msg.LocalRead:
+		rt = msg.RemRead
+	default:
+		// The entry is GI/NotIn: the station holds no valid data the NC can
+		// vouch for, so even an upgrade must fetch the line. (The processor
+		// may think it has a shared copy, but the NC cannot prove it — an
+		// ack-only grant here could hand out ownership of nothing.)
+		rt = msg.RemReadEx
+	}
+	t := &txn{kind: txnFetch, origType: rt, reqProc: req, home: e.home}
+	e.locked, e.txn = true, t
+	n.sendHome(now, rt, x.Line, t)
+}
+
+func (n *Module) localWrBack(x *msg.Message, now int64) {
+	bit := uint16(1) << uint(x.SrcMod)
+	// A network intervention may be waiting on this write-back.
+	if t := n.sideTxns[x.Line]; t != nil {
+		t.wbSeen, t.wbData = true, x.Data
+		if t.pending == 0 {
+			n.finishNetServe(nil, x.Line, t, t.wbData, now)
+		}
+		return
+	}
+	e := n.lookup(x.Line)
+	n.recordHist(msg.LocalWrBack, e)
+	if e == nil {
+		if !n.p.NCEnabled {
+			wb := n.toNet(now, msg.RemWrBack, x.Home, x.Home, x.Line)
+			wb.Data, wb.HasData = x.Data, true
+			return
+		}
+		e = n.allocate(x.Line, x.Home, now)
+		if e == nil {
+			// Slot held by a locked entry: the dirty data must not be lost,
+			// so it bypasses the NC and travels home.
+			wb := n.toNet(now, msg.RemWrBack, x.Home, x.Home, x.Line)
+			wb.Data, wb.HasData = x.Data, true
+			return
+		}
+		e.broughtBy = x.SrcMod
+		e.data = x.Data
+		e.state = LV
+		e.procs = 0
+		return
+	}
+	if e.locked {
+		e.txn.wbSeen, e.txn.wbData = true, x.Data
+		e.procs &^= bit
+		if e.txn.kind == txnFetch && e.txn.granted {
+			// The write was already granted (no-SC-locking mode) and the
+			// owner evicted before the invalidation drained: this is an
+			// ordinary eviction write-back, not transaction bookkeeping.
+			e.data = x.Data
+			if e.state == LI && e.procs == 0 {
+				e.state = LV
+			}
+		}
+		n.checkIntervDone(e, now)
+		return
+	}
+	e.data = x.Data
+	e.procs &^= bit
+	if e.state == LI || e.state == GI {
+		e.state = LV
+	}
+}
+
+// ---- bus intervention results ----
+
+func (n *Module) intervResp(x *msg.Message, now int64) {
+	if t := n.sideTxns[x.Line]; t != nil {
+		t.pending--
+		t.dataSeen, t.data = true, x.Data
+		if t.pending == 0 || t.dataSeen {
+			n.finishNetServe(nil, x.Line, t, t.data, now)
+		}
+		return
+	}
+	e := n.lookup(x.Line)
+	if e == nil || !e.locked || e.txn == nil {
+		return // completed by a racing write-back
+	}
+	t := e.txn
+	t.pending--
+	t.dataSeen, t.data = true, x.Data
+	n.checkIntervDone(e, now)
+}
+
+func (n *Module) intervMiss(x *msg.Message, now int64) {
+	if t := n.sideTxns[x.Line]; t != nil {
+		t.pending--
+		if t.pending == 0 {
+			switch {
+			case t.dataSeen:
+				n.finishNetServe(nil, x.Line, t, t.data, now)
+			case t.wbSeen:
+				n.finishNetServe(nil, x.Line, t, t.wbData, now)
+			default:
+				// No processor had the line and no local write-back arrived.
+				// Bus FIFO order guarantees an L2 write-back would have been
+				// delivered before the last miss response, so the data must
+				// be travelling to the home memory (an NC ejection
+				// write-back): report the miss and let the home complete.
+				miss := n.toNet(now, msg.NetIntervMiss, t.home, t.home, x.Line)
+				miss.TxnID = t.netTxnID
+				delete(n.sideTxns, x.Line)
+			}
+		}
+		return
+	}
+	e := n.lookup(x.Line)
+	if e == nil || !e.locked || e.txn == nil {
+		return
+	}
+	e.txn.pending--
+	n.checkIntervDone(e, now)
+}
+
+// checkIntervDone completes local interventions, network intervention
+// service and false-remote recovery once all responses (and any required
+// write-back) are in.
+func (n *Module) checkIntervDone(e *entry, now int64) {
+	t := e.txn
+	if t == nil || t.kind == txnFetch {
+		return
+	}
+	if t.pending > 0 && !t.dataSeen {
+		return
+	}
+	data, have := t.data, t.dataSeen
+	if !have && t.wbSeen {
+		data, have = t.wbData, true
+	}
+	if !have {
+		switch t.kind {
+		case txnNetServe:
+			// As in the side-table case: all responses are in and no local
+			// write-back preceded them, so the data is travelling home.
+			miss := n.toNet(now, msg.NetIntervMiss, t.home, t.home, e.line)
+			miss.TxnID = t.netTxnID
+			e.state = GI
+			e.procs = 0
+			e.locked, e.txn = false, nil
+		case txnRecover:
+			// The false-remote bounce was stale: ownership moved (or the
+			// write-back reached home) while our request was in flight.
+			// Fall back to a fresh fetch — the home has settled by now.
+			t.kind = txnFetch
+			if t.ex {
+				t.origType = msg.RemReadEx
+			} else {
+				t.origType = msg.RemRead
+			}
+			t.upgdAck = false
+			t.dataInvalidated = false
+			n.sendHome(now, t.origType, e.line, t)
+		}
+		// Local intervention service: the write-back must still be in flight.
+		return
+	}
+	switch t.kind {
+	case txnLocalInterv:
+		e.data = data
+		if t.origType == msg.LocalRead {
+			e.state = LV
+		} else {
+			e.state = LI
+		}
+		if !t.dataSeen {
+			// The owner had already evicted: the requester could not snarf
+			// the response, so grant explicitly from the written-back data.
+			if t.origType == msg.LocalRead {
+				n.toProc(now, msg.ProcData, t.reqProc, e.line, data, 0)
+			} else {
+				n.toProc(now, msg.ProcDataEx, t.reqProc, e.line, data, 0)
+			}
+		}
+		e.locked, e.txn = false, nil
+	case txnNetServe:
+		n.finishNetServe(e, e.line, t, data, now)
+	case txnRecover:
+		e.data = data
+		if t.ex {
+			e.state = LI
+			e.procs = 1 << uint(t.reqProc)
+		} else {
+			e.state = LV
+			e.procs |= 1 << uint(t.reqProc)
+		}
+		if !t.dataSeen {
+			if t.ex {
+				n.toProc(now, msg.ProcDataEx, t.reqProc, e.line, data, 0)
+			} else {
+				n.toProc(now, msg.ProcData, t.reqProc, e.line, data, 0)
+			}
+		}
+		e.locked, e.txn = false, nil
+	}
+}
+
+// finishNetServe answers the home memory's intervention with the collected
+// data. e may be nil when the service ran from the side table (NotIn).
+func (n *Module) finishNetServe(e *entry, line uint64, t *txn, data uint64, now int64) {
+	home := t.home
+	if t.ex {
+		d := n.toNet(now, msg.NetDataEx, t.reqStation, home, line)
+		d.Data, d.HasData, d.TxnID = data, true, t.netTxnID
+		if t.reqStation != home {
+			done := n.toNet(now, msg.NetXferDone, home, home, line)
+			done.TxnID = t.netTxnID
+		}
+		if e != nil {
+			e.state = GI
+			e.procs = 0
+			e.locked, e.txn = false, nil
+		}
+	} else {
+		d := n.toNet(now, msg.NetData, t.reqStation, home, line)
+		d.Data, d.HasData, d.TxnID = data, true, t.netTxnID
+		if t.reqStation != home {
+			wb := n.toNet(now, msg.NetWBCopy, home, home, line)
+			wb.Data, wb.HasData, wb.TxnID = data, true, t.netTxnID
+		}
+		if e != nil {
+			e.data = data
+			e.state = GV
+			e.locked, e.txn = false, nil
+		}
+	}
+	if e == nil {
+		delete(n.sideTxns, line)
+	}
+}
+
+// ---- network responses for pending fetches ----
+
+func (n *Module) fetchTxn(line uint64) (*entry, *txn) {
+	e := n.lookup(line)
+	if e == nil || !e.locked || e.txn == nil || e.txn.kind != txnFetch {
+		return nil, nil
+	}
+	return e, e.txn
+}
+
+func (n *Module) netData(x *msg.Message, now int64) {
+	e, t := n.fetchTxn(x.Line)
+	if t == nil {
+		return // stale response
+	}
+	t.dataSeen, t.data = true, x.Data
+	if x.Type == msg.NetDataEx && x.InvalFollows {
+		t.expectInvalID = x.TxnID
+		t.needInval = n.p.SCLocking
+	}
+	n.maybeCompleteFetch(e, now)
+}
+
+func (n *Module) netUpgdAck(x *msg.Message, now int64) {
+	e, t := n.fetchTxn(x.Line)
+	if t == nil {
+		return
+	}
+	if t.dataInvalidated {
+		// §4.6: the directory's inexact mask said we still held a copy, but
+		// it was invalidated before the acknowledgement arrived. Ownership
+		// is ours yet the data is gone: issue the special write request.
+		n.Stats.SpecialWrReqs.Inc()
+		t.upgdAck = false
+		t.expectInvalID = x.TxnID
+		t.needInval = n.p.SCLocking
+		t.ackSeen = false
+		n.sendHome(now, msg.SpecialWrReq, x.Line, t)
+		return
+	}
+	t.ackSeen = true
+	t.expectInvalID = x.TxnID
+	t.needInval = n.p.SCLocking && x.InvalFollows
+	n.maybeCompleteFetch(e, now)
+}
+
+func (n *Module) netNAK(x *msg.Message, now int64) {
+	e, t := n.fetchTxn(x.Line)
+	if t == nil {
+		return
+	}
+	rt := t.origType
+	if t.dataInvalidated && rt == msg.RemUpgd {
+		rt = msg.RemReadEx
+		t.origType = rt
+		t.upgdAck = false
+	}
+	t.retryType = rt
+	t.retryAt = now + int64(n.p.RetryDelay)
+	n.retryLines = append(n.retryLines, e.line)
+}
+
+func (n *Module) falseRemote(x *msg.Message, now int64) {
+	e, t := n.fetchTxn(x.Line)
+	if t == nil {
+		return
+	}
+	if t.reqProc < 0 {
+		// A prefetch bounced off our own ownership: nothing to recover.
+		e.valid = false
+		return
+	}
+	// The home memory says this station already owns the line: recover by
+	// intervening locally (the directory information was lost to ejection).
+	n.Stats.FalseRemotes.Inc()
+	t.kind = txnRecover
+	t.retryAt = 0 // cancel any scheduled re-issue of the bounced request
+	t.ex = x.NakOf != msg.RemRead
+	others := n.allProcs() &^ (1 << uint(t.reqProc))
+	t.pending = popcount(others)
+	if t.pending == 0 {
+		// Single-processor station: the data can only be in a write-back.
+		n.checkIntervDone(e, now)
+		return
+	}
+	n.busInterv(now, x.Line, others, t.reqProc, t.ex)
+}
+
+// maybeCompleteFetch grants the waiting processor and unlocks the entry
+// according to the sequential-consistency rules of §2.3: with SC locking
+// the data (or ack) is held until the write's invalidation arrives; without
+// it the grant is immediate but the entry stays locked until the
+// invalidation has been absorbed.
+func (n *Module) maybeCompleteFetch(e *entry, now int64) {
+	t := e.txn
+	dataReady := t.dataSeen || t.ackSeen
+	if !dataReady {
+		return
+	}
+	if !t.granted && (!t.needInval || t.invalSeen) {
+		n.grant(e, now)
+		t.granted = true
+	}
+	if t.granted && (t.expectInvalID == 0 || t.invalSeen) {
+		e.locked, e.txn = false, nil
+		if !n.p.NCEnabled && e.state == GV {
+			e.valid = false // ablation: the NC retains nothing it need not
+		}
+	}
+}
+
+func (n *Module) grant(e *entry, now int64) {
+	t := e.txn
+	data := e.data
+	if t.dataSeen {
+		data = t.data
+		e.data = data
+	}
+	if t.reqProc < 0 {
+		// Prefetch completion: no processor waits; keep (or drop) the data.
+		if t.dataInvalidated {
+			e.state = GI
+		} else {
+			e.state = GV
+		}
+		e.procs = 0
+		return
+	}
+	bit := uint16(1) << uint(t.reqProc)
+	if t.origType == msg.RemRead {
+		n.toProc(now, msg.ProcData, t.reqProc, e.line, data, 0)
+		if t.dataInvalidated {
+			// A foreign invalidation arrived while the fetch was in flight
+			// (the data travelled via a third station and lost the race).
+			// The read itself is ordered before the invalidating write, so
+			// the value stands — but no copy may be retained: deliver, then
+			// invalidate in the same breath.
+			n.busInval(now, e.line, bit)
+			e.procs = 0
+			e.state = GI
+			return
+		}
+		e.procs |= bit
+		e.state = GV
+		return
+	}
+	// Exclusive grant.
+	n.busInval(now, e.line, e.procs&^bit)
+	if t.upgdAck && !t.dataInvalidated {
+		n.toProc(now, msg.ProcUpgdAck, t.reqProc, e.line, 0, 0)
+	} else {
+		n.toProc(now, msg.ProcDataEx, t.reqProc, e.line, data, 0)
+	}
+	e.procs = bit
+	e.state = LI
+}
+
+// ---- invalidations ----
+
+func (n *Module) invalidate(x *msg.Message, now int64) {
+	e := n.lookup(x.Line)
+	n.recordHist(msg.Invalidate, e)
+	if e == nil {
+		// Ejected from the NC: broadcast to all processors (§2.3).
+		n.busInval(now, x.Line, n.allProcs())
+		return
+	}
+	if e.locked && e.txn != nil && e.txn.kind == txnFetch &&
+		x.TxnID != 0 && e.txn.expectInvalID == x.TxnID {
+		// The sequencing invalidation for our own write (Figure 7). The
+		// processor mask may understate stale sharers whose entry was
+		// ejected earlier (inclusion is not enforced), so invalidate every
+		// processor except the writer.
+		t := e.txn
+		t.invalSeen = true
+		n.busInval(now, x.Line, n.allProcs()&^(1<<uint(t.reqProc)))
+		e.procs &= 1 << uint(t.reqProc)
+		n.maybeCompleteFetch(e, now)
+		return
+	}
+	if e.locked {
+		t := e.txn
+		if t.kind == txnFetch {
+			// The NC's processor mask may understate stale sharers during a
+			// fetch (the requester's own copy is not tracked), so broadcast.
+			n.busInval(now, x.Line, n.allProcs())
+			e.procs = 0
+			t.dataInvalidated = true
+			t.upgdAck = false
+			e.state = GI
+		}
+		// Interventions/recovery imply this station owns the line; an
+		// invalidation can only be a stale straggler. Ignore it.
+		return
+	}
+	if e.state == LV || e.state == LI {
+		// A stale invalidation from a write that was ordered before we
+		// acquired ownership; our copy is fresher. Ignore.
+		return
+	}
+	// Broadcast: the entry may have been ejected and re-allocated since a
+	// processor obtained its copy, in which case the mask understates the
+	// sharers (inclusion is not enforced, §2.3's broadcast rule).
+	n.busInval(now, x.Line, n.allProcs())
+	e.procs = 0
+	e.state = GI
+}
+
+// ---- network interventions (this station is the owner) ----
+
+func (n *Module) netInterv(x *msg.Message, now int64) {
+	e := n.lookup(x.Line)
+	n.recordHist(x.Type, e)
+	ex := x.Type == msg.NetIntervEx
+	home := x.SrcStation
+	if e == nil {
+		if _, busy := n.sideTxns[x.Line]; busy {
+			nk := n.toNet(now, msg.NetNAK, home, home, x.Line)
+			nk.TxnID, nk.NakOf = x.TxnID, x.Type
+			return
+		}
+		// The home believes we own this line but the NC ejected it: the
+		// dirty copy is in a local L2 or its write-back is in flight.
+		t := &txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
+			netTxnID: x.TxnID, reqStation: x.ReqStation, ex: ex,
+			pending: n.g.ProcsPerStation}
+		n.sideTxns[x.Line] = t
+		n.busInterv(now, x.Line, n.allProcs(), -1, ex)
+		return
+	}
+	if e.locked {
+		nk := n.toNet(now, msg.NetNAK, home, home, x.Line)
+		nk.TxnID, nk.NakOf = x.TxnID, x.Type
+		return
+	}
+	switch e.state {
+	case LV, GV:
+		t := &txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
+			netTxnID: x.TxnID, reqStation: x.ReqStation, ex: ex}
+		if ex {
+			n.busInval(now, x.Line, e.procs)
+		}
+		n.finishNetServe(e, x.Line, t, e.data, now)
+	case LI:
+		owner := onlyBit(e.procs)
+		t := &txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
+			netTxnID: x.TxnID, reqStation: x.ReqStation, ex: ex, pending: 1}
+		e.locked, e.txn = true, t
+		n.busInterv(now, x.Line, 1<<uint(owner), -1, ex)
+	case GI:
+		miss := n.toNet(now, msg.NetIntervMiss, home, home, x.Line)
+		miss.TxnID = x.TxnID
+	}
+}

@@ -1,0 +1,487 @@
+package proc
+
+import (
+	"fmt"
+
+	"numachine/internal/cache"
+	"numachine/internal/monitor"
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+// state is the CPU's execution state.
+type state uint8
+
+const (
+	sThink         state = iota // executing; fetch the next reference at thinkUntil
+	sWaitMem                    // one outstanding miss at the memory system
+	sWaitRetry                  // NAK'ed; re-issue at retryAt
+	sWaitBarrier                // parked at a barrier, released by the machine
+	sWaitInterrupt              // waiting for a special-function completion interrupt
+	sDone
+)
+
+// Stats collects the processor-module monitoring counters.
+type Stats struct {
+	Reads, Writes  monitor.Counter
+	L1Hits         monitor.Counter
+	L2Hits         monitor.Counter
+	Misses         monitor.Counter
+	Upgrades       monitor.Counter
+	WriteBacks     monitor.Counter
+	NAKRetries     monitor.Counter
+	UpgradeRefetch monitor.Counter // upgrade acked after our copy died; refetched
+	Interventions  monitor.Counter // served from our dirty L2
+	StallCycles    monitor.Counter // cycles blocked on the memory system
+	BarrierCycles  monitor.Counter
+}
+
+// CPU is one processor module: R4400-like core + primary cache model +
+// secondary cache + external agent.
+type CPU struct {
+	GlobalID int
+	Local    int // index within the station
+	Station  int
+
+	g topo.Geometry
+	p sim.Params
+
+	runner *Runner
+	l2     *cache.Cache
+	l1     *cache.Cache // timing filter; data/coherence live in the L2
+
+	outQ *sim.Queue[*msg.Message]
+
+	st         state
+	thinkUntil int64
+	retryAt    int64
+	lastResult uint64
+	finishAt   int64 // completion timestamp of the parallel section
+
+	// The single outstanding reference.
+	cur     Ref
+	curLine uint64
+	started bool
+
+	// HomeOf maps a line to its home station (page placement); wired by core.
+	HomeOf func(line uint64) int
+	// OnBarrier is invoked when the CPU arrives at a barrier; core releases
+	// it later via FinishBarrier.
+	OnBarrier func(cpu *CPU, now int64)
+	// OnPhase propagates phase-identifier writes to the monitor.
+	OnPhase func(cpu *CPU, phase uint8)
+
+	// Interrupt and barrier registers (§3.1.1).
+	InterruptReg uint64
+	BarrierReg   uint64
+
+	Stats Stats
+}
+
+// New builds a processor module. l1Lines of 0 disables the primary-cache
+// timing filter.
+func New(g topo.Geometry, p sim.Params, globalID int, runner *Runner, l1Lines int) *CPU {
+	c := &CPU{
+		GlobalID: globalID,
+		Local:    g.LocalProc(globalID),
+		Station:  g.StationOfProc(globalID),
+		g:        g,
+		p:        p,
+		runner:   runner,
+		l2:       cache.New(p.L2Lines, p.L2Assoc, p.LineSize),
+		outQ:     sim.NewQueue[*msg.Message](0),
+	}
+	if l1Lines > 0 {
+		c.l1 = cache.New(l1Lines, 1, p.LineSize)
+	}
+	if runner == nil {
+		c.st = sDone // idle until a program is loaded
+	}
+	return c
+}
+
+// SetRunner loads a program into an idle CPU.
+func (c *CPU) SetRunner(r *Runner) {
+	c.runner = r
+	c.st = sThink
+	c.thinkUntil = 0
+}
+
+// L2 exposes the secondary cache for the invariant checker and tests.
+func (c *CPU) L2() *cache.Cache { return c.l2 }
+
+// Done reports whether the workload has completed.
+func (c *CPU) Done() bool { return c.st == sDone }
+
+// PendingLine returns the line of the in-flight reference (diagnostics).
+func (c *CPU) PendingLine() uint64 { return c.curLine }
+
+// Pending describes what the CPU is blocked on (diagnostics).
+func (c *CPU) Pending() string {
+	names := [...]string{"think", "waitMem", "waitRetry", "waitBarrier", "waitIntr", "done"}
+	return fmt.Sprintf("%s line=%#x kind=%d", names[c.st], c.curLine, c.cur.Kind)
+}
+
+// FinishedAt returns the cycle the workload completed (valid once Done).
+func (c *CPU) FinishedAt() int64 { return c.finishAt }
+
+// BusOut implements bus.Module.
+func (c *CPU) BusOut() *sim.Queue[*msg.Message] { return c.outQ }
+
+func (c *CPU) align(addr uint64) uint64 { return addr &^ (uint64(c.p.LineSize) - 1) }
+
+// Tick advances the CPU one cycle.
+func (c *CPU) Tick(now int64) {
+	switch c.st {
+	case sDone:
+		return
+	case sWaitMem, sWaitInterrupt:
+		c.Stats.StallCycles.Inc()
+		return
+	case sWaitBarrier:
+		c.Stats.BarrierCycles.Inc()
+		return
+	case sWaitRetry:
+		if now < c.retryAt {
+			c.Stats.StallCycles.Inc()
+			return
+		}
+		c.issue(now, true)
+		return
+	case sThink:
+		if now < c.thinkUntil {
+			return
+		}
+		ref := c.runner.Next(c.lastResult)
+		c.process(ref, now)
+	}
+}
+
+// process starts executing one reference.
+func (c *CPU) process(ref Ref, now int64) {
+	c.cur = ref
+	switch ref.Kind {
+	case RefDone:
+		c.st = sDone
+		c.finishAt = now
+	case RefCompute:
+		c.thinkUntil = now + ref.N
+	case RefCycle:
+		c.lastResult = uint64(now)
+		c.thinkUntil = now + 1
+	case RefPrefetch:
+		line := c.align(ref.Addr)
+		if c.HomeOf(line) != c.Station && c.l2.Probe(line) == nil {
+			c.outQ.Push(&msg.Message{
+				Type: msg.PrefetchReq, Line: line, Home: c.HomeOf(line),
+				SrcMod: c.Local, DstMod: c.g.ModNC(),
+				SrcStation: c.Station, DstStation: c.Station,
+				Requester: c.GlobalID, IssueCycle: now,
+			}, now)
+		}
+		c.lastResult = 0
+		c.thinkUntil = now + 1
+	case RefPhase:
+		if c.OnPhase != nil {
+			c.OnPhase(c, ref.Phase)
+		}
+		c.lastResult = 0
+		c.thinkUntil = now + 1
+	case RefBarrier:
+		c.st = sWaitBarrier
+		if c.OnBarrier == nil {
+			panic("proc: barrier used without a barrier controller")
+		}
+		c.OnBarrier(c, now)
+	case RefKill:
+		c.curLine = c.align(ref.Addr)
+		c.st = sWaitInterrupt
+		c.sendKill(now)
+	case RefRead:
+		c.Stats.Reads.Inc()
+		c.curLine = c.align(ref.Addr)
+		c.startRead(now)
+	case RefWrite, RefTAS, RefFetchAdd:
+		c.Stats.Writes.Inc()
+		c.curLine = c.align(ref.Addr)
+		c.startWrite(now)
+	default:
+		panic(fmt.Sprintf("proc: unknown ref kind %d", ref.Kind))
+	}
+}
+
+func (c *CPU) startRead(now int64) {
+	if l := c.l2.Probe(c.curLine); l != nil {
+		c.lastResult = l.Data
+		if c.l1 != nil && c.l1.Probe(c.curLine) != nil {
+			c.Stats.L1Hits.Inc()
+			c.thinkUntil = now + 1
+		} else {
+			c.Stats.L2Hits.Inc()
+			c.l1Fill(c.curLine)
+			c.thinkUntil = now + int64(c.p.L2HitCycles)
+		}
+		return
+	}
+	c.Stats.Misses.Inc()
+	c.issue(now, false)
+}
+
+func (c *CPU) startWrite(now int64) {
+	if l := c.l2.Probe(c.curLine); l != nil && l.State == cache.Dirty {
+		c.lastResult = l.Data
+		l.Data = c.newValue(l.Data)
+		if c.l1 != nil && c.l1.Probe(c.curLine) != nil {
+			c.Stats.L1Hits.Inc()
+			c.thinkUntil = now + 1
+		} else {
+			c.Stats.L2Hits.Inc()
+			c.l1Fill(c.curLine)
+			c.thinkUntil = now + int64(c.p.L2HitCycles)
+		}
+		return
+	}
+	if l := c.l2.Probe(c.curLine); l != nil && l.State == cache.Shared {
+		c.Stats.Upgrades.Inc()
+	} else {
+		c.Stats.Misses.Inc()
+	}
+	c.issue(now, false)
+}
+
+// newValue computes the line value after the current write-class reference.
+func (c *CPU) newValue(old uint64) uint64 {
+	switch c.cur.Kind {
+	case RefTAS:
+		return 1
+	case RefFetchAdd:
+		return old + c.cur.Data
+	default:
+		return c.cur.Data
+	}
+}
+
+// issue sends the memory request for the current reference (or re-issues
+// it after a NAK when retry is set).
+func (c *CPU) issue(now int64, retry bool) {
+	if retry {
+		c.Stats.NAKRetries.Inc()
+	}
+	var t msg.Type
+	switch c.cur.Kind {
+	case RefRead:
+		t = msg.LocalRead
+	default:
+		if l := c.l2.Probe(c.curLine); l != nil && l.State == cache.Shared {
+			t = msg.LocalUpgd
+		} else {
+			t = msg.LocalReadEx
+		}
+	}
+	c.st = sWaitMem
+	c.send(t, now, retry)
+}
+
+func (c *CPU) send(t msg.Type, now int64, retry bool) {
+	home := c.HomeOf(c.curLine)
+	dst := c.g.ModNC()
+	if home == c.Station {
+		dst = c.g.ModMem()
+	}
+	c.outQ.Push(&msg.Message{
+		Type: t, Line: c.curLine, Home: home,
+		SrcMod: c.Local, DstMod: dst,
+		SrcStation: c.Station, DstStation: c.Station,
+		Requester: c.GlobalID, ReqStation: c.Station,
+		Retry: retry, IssueCycle: now,
+	}, now)
+}
+
+func (c *CPU) sendKill(now int64) {
+	home := c.HomeOf(c.curLine)
+	m := &msg.Message{
+		Type: msg.KillReq, Line: c.curLine, Home: home,
+		SrcMod: c.Local, SrcStation: c.Station,
+		Requester: c.GlobalID, ReqStation: c.Station, IssueCycle: now,
+	}
+	if home == c.Station {
+		m.DstMod = c.g.ModMem()
+		m.DstStation = c.Station
+	} else {
+		m.DstMod = c.g.ModRI()
+		m.DstStation = home
+	}
+	c.outQ.Push(m, now)
+}
+
+// l1Fill records the line in the primary-cache timing filter.
+func (c *CPU) l1Fill(line uint64) {
+	if c.l1 == nil {
+		return
+	}
+	c.l1.Insert(line, cache.Shared, 0)
+}
+
+// fill installs a line in the L2 (write-back of the victim included) and
+// completes the current reference.
+func (c *CPU) fill(st cache.State, data uint64, now int64) {
+	victim := c.l2.Insert(c.curLine, st, data)
+	if victim.State == cache.Dirty {
+		c.writeBack(victim, now)
+	}
+	if victim.State != cache.Invalid && c.l1 != nil {
+		c.l1.Invalidate(victim.Addr)
+	}
+	c.l1Fill(c.curLine)
+	c.complete(now)
+}
+
+func (c *CPU) writeBack(victim cache.Line, now int64) {
+	c.Stats.WriteBacks.Inc()
+	home := c.HomeOf(victim.Addr)
+	dst := c.g.ModNC()
+	if home == c.Station {
+		dst = c.g.ModMem()
+	}
+	c.outQ.Push(&msg.Message{
+		Type: msg.LocalWrBack, Line: victim.Addr, Home: home,
+		SrcMod: c.Local, DstMod: dst,
+		SrcStation: c.Station, DstStation: c.Station,
+		Data: victim.Data, HasData: true, IssueCycle: now,
+	}, now)
+}
+
+// complete finishes the current reference after a fill.
+func (c *CPU) complete(now int64) {
+	l := c.l2.Probe(c.curLine)
+	if l == nil {
+		panic("proc: complete without a filled line")
+	}
+	switch c.cur.Kind {
+	case RefRead:
+		c.lastResult = l.Data
+	default:
+		c.lastResult = l.Data // old value for RMW, ignored for plain writes
+		l.Data = c.newValue(l.Data)
+	}
+	c.st = sThink
+	c.thinkUntil = now + int64(c.p.L2FillCycles+c.p.ProcMissOverhead)
+}
+
+// FinishBarrier releases the CPU from a barrier at the given cycle.
+func (c *CPU) FinishBarrier(now int64) {
+	if c.st != sWaitBarrier {
+		panic("proc: FinishBarrier on a CPU not at a barrier")
+	}
+	c.lastResult = 0
+	c.st = sThink
+	c.thinkUntil = now
+}
+
+// BusDeliver implements bus.Module: responses, invalidations and
+// interventions arriving from the station bus.
+func (c *CPU) BusDeliver(m *msg.Message, now int64) {
+	if c.p.TraceLine != 0 && m.Line == c.p.TraceLine {
+		l2 := "miss"
+		if l := c.l2.Probe(m.Line); l != nil {
+			l2 = fmt.Sprintf("%v/%#x", l.State, l.Data)
+		}
+		fmt.Printf("%8d cpu[%d] %-16s from mod%d data=%#x l2=%s pending=%v\n",
+			now, c.GlobalID, m.Type, m.SrcMod, m.Data, l2, c.st == sWaitMem && m.Line == c.curLine)
+	}
+	switch m.Type {
+	case msg.ProcData:
+		if c.st == sWaitMem && m.Line == c.curLine {
+			c.fill(cache.Shared, m.Data, now)
+		}
+	case msg.ProcDataEx:
+		if c.st == sWaitMem && m.Line == c.curLine {
+			c.fill(cache.Dirty, m.Data, now)
+		}
+	case msg.ProcUpgdAck:
+		if c.st != sWaitMem || m.Line != c.curLine {
+			return
+		}
+		l := c.l2.Probe(c.curLine)
+		if l == nil {
+			// Our shared copy died while the upgrade was in flight; the ack
+			// grants ownership of data we no longer hold. Fetch it.
+			c.Stats.UpgradeRefetch.Inc()
+			c.send(msg.LocalReadEx, now, false)
+			return
+		}
+		l.State = cache.Dirty
+		c.complete(now)
+	case msg.ProcNAK:
+		if c.st == sWaitMem && m.Line == c.curLine {
+			c.st = sWaitRetry
+			c.retryAt = now + int64(c.p.RetryDelay)
+		}
+	case msg.BusInval:
+		if old, ok := c.l2.Invalidate(m.Line); ok {
+			_ = old
+			if c.l1 != nil {
+				c.l1.Invalidate(m.Line)
+			}
+		}
+	case msg.BusIntervention:
+		c.serveIntervention(m, now)
+	case msg.IntervResp:
+		// Snarfed off the bus (AlsoProc): our pending miss is satisfied by
+		// the owner's response in the same transfer (§2.3).
+		if c.st == sWaitMem && m.Line == c.curLine {
+			if c.cur.Kind == RefRead {
+				c.fill(cache.Shared, m.Data, now)
+			} else {
+				c.fill(cache.Dirty, m.Data, now)
+			}
+		}
+	case msg.NetInterrupt:
+		c.InterruptReg |= 1 << uint(m.SrcStation)
+		if c.st == sWaitInterrupt {
+			c.lastResult = 0
+			c.st = sThink
+			c.thinkUntil = now + 1
+		}
+	case msg.NetBarrier:
+		c.BarrierReg |= m.Data
+	default:
+		panic(fmt.Sprintf("proc[%d]: unexpected bus message %v", c.GlobalID, m))
+	}
+}
+
+// serveIntervention answers a (possibly broadcast) intervention: supply
+// the line if we hold it dirty, otherwise report a miss; exclusive
+// interventions also invalidate any copy we keep.
+func (c *CPU) serveIntervention(m *msg.Message, now int64) {
+	l := c.l2.Probe(m.Line)
+	resp := &msg.Message{
+		Line: m.Line, Home: m.Home,
+		SrcMod: c.Local, DstMod: m.SrcMod,
+		SrcStation: c.Station, DstStation: c.Station,
+		AlsoProc: m.AlsoProc, IssueCycle: now,
+	}
+	if l != nil && l.State == cache.Dirty {
+		c.Stats.Interventions.Inc()
+		resp.Type = msg.IntervResp
+		resp.Data, resp.HasData = l.Data, true
+		if m.Ex {
+			c.l2.Invalidate(m.Line)
+			if c.l1 != nil {
+				c.l1.Invalidate(m.Line)
+			}
+		} else {
+			l.State = cache.Shared
+		}
+	} else {
+		resp.Type = msg.IntervMiss
+		if m.Ex && l != nil {
+			c.l2.Invalidate(m.Line)
+			if c.l1 != nil {
+				c.l1.Invalidate(m.Line)
+			}
+		}
+	}
+	c.outQ.Push(resp, now)
+}

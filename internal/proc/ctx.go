@@ -1,0 +1,186 @@
+// Package proc models a NUMAchine processor module (§3.1.1): an in-order
+// CPU with a primary cache, an external secondary cache, an external agent
+// issuing at most one outstanding miss (R4400-like), interrupt and barrier
+// registers, and retry-on-NAK behaviour.
+//
+// Workloads drive processors through an execution-driven front end in the
+// style of MINT: the workload is a real Go function running against a
+// blocking memory interface (Ctx); each Read/Write hands a reference to
+// the timing back end and suspends the workload goroutine until the
+// simulated access completes. The handshake is strictly lock-step, so
+// simulations are deterministic.
+package proc
+
+// RefKind enumerates the operations a workload can issue.
+type RefKind uint8
+
+const (
+	// RefRead is a shared load; the result is the line's 64-bit value.
+	RefRead RefKind = iota
+	// RefWrite stores a 64-bit value to a line (obtaining ownership).
+	RefWrite
+	// RefTAS is an atomic test-and-set: returns the old value, writes 1.
+	RefTAS
+	// RefFetchAdd atomically adds Data to the line, returning the old value.
+	RefFetchAdd
+	// RefCompute consumes N cycles of pure computation.
+	RefCompute
+	// RefBarrier blocks until all participating processors arrive.
+	RefBarrier
+	// RefPhase writes the per-processor phase identifier register (§3.3).
+	RefPhase
+	// RefKill issues the kill special function for a line (§3.1.2) and
+	// waits for the completion interrupt.
+	RefKill
+	// RefPrefetch asks the network cache to pull a remote line in the
+	// background (§3.1.4); it does not block the processor.
+	RefPrefetch
+	// RefCycle returns the current simulation cycle (for latency probes).
+	RefCycle
+	// RefDone marks the end of the workload.
+	RefDone
+)
+
+// Ref is one workload reference handed to the timing back end.
+type Ref struct {
+	Kind  RefKind
+	Addr  uint64
+	Data  uint64
+	N     int64 // compute cycles
+	Phase uint8
+}
+
+// Program is the workload body executed by one simulated processor.
+type Program func(c *Ctx)
+
+// Ctx is the memory interface a workload runs against. All methods block
+// (in simulated time) until the access completes.
+type Ctx struct {
+	// ID is the global processor id, NProcs the number of processors
+	// running the program.
+	ID     int
+	NProcs int
+
+	refs   chan Ref
+	resume chan uint64
+}
+
+func newCtx(id, nprocs int) *Ctx {
+	return &Ctx{ID: id, NProcs: nprocs, refs: make(chan Ref), resume: make(chan uint64)}
+}
+
+func (c *Ctx) do(r Ref) uint64 {
+	c.refs <- r
+	return <-c.resume
+}
+
+// Read loads the 64-bit value of the line containing addr.
+func (c *Ctx) Read(addr uint64) uint64 { return c.do(Ref{Kind: RefRead, Addr: addr}) }
+
+// Write stores v to the line containing addr.
+func (c *Ctx) Write(addr uint64, v uint64) { c.do(Ref{Kind: RefWrite, Addr: addr, Data: v}) }
+
+// TestAndSet atomically sets the line to 1 and returns its previous value.
+func (c *Ctx) TestAndSet(addr uint64) uint64 { return c.do(Ref{Kind: RefTAS, Addr: addr}) }
+
+// FetchAdd atomically adds delta to the line, returning the old value.
+func (c *Ctx) FetchAdd(addr uint64, delta uint64) uint64 {
+	return c.do(Ref{Kind: RefFetchAdd, Addr: addr, Data: delta})
+}
+
+// Compute consumes n cycles of processor time without memory traffic.
+func (c *Ctx) Compute(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.do(Ref{Kind: RefCompute, N: n})
+}
+
+// Barrier blocks until every participating processor has arrived. The
+// implementation models the hardware barrier registers of §3.2: arrival is
+// a multicast register write, and release costs a ring traversal.
+func (c *Ctx) Barrier() { c.do(Ref{Kind: RefBarrier}) }
+
+// SetPhase writes the phase identifier register, tagging subsequent
+// transactions from this processor for the monitoring hardware.
+func (c *Ctx) SetPhase(p uint8) { c.do(Ref{Kind: RefPhase, Phase: p}) }
+
+// Cycle returns the current simulation cycle. The call itself consumes one
+// cycle; latency probes subtract accordingly.
+func (c *Ctx) Cycle() int64 { return int64(c.do(Ref{Kind: RefCycle})) }
+
+// Prefetch asks the station's network cache to fetch the line containing
+// addr from its remote home in the background (§3.1.4). The processor
+// continues immediately; a later Read finds the line in the NC. Prefetch
+// of a locally-homed line is a no-op.
+func (c *Ctx) Prefetch(addr uint64) { c.do(Ref{Kind: RefPrefetch, Addr: addr}) }
+
+// Kill purges every cached copy of the line containing addr (the special
+// function of §3.1.2), blocking until the completion interrupt arrives.
+func (c *Ctx) Kill(addr uint64) { c.do(Ref{Kind: RefKill, Addr: addr}) }
+
+// AcquireLock obtains a spin lock at addr using test-and-test-and-set
+// with exponential backoff over the simulated memory system, generating
+// realistic coherence traffic without the O(P²) invalidation storms of a
+// naive spin loop.
+func (c *Ctx) AcquireLock(addr uint64) {
+	backoff := int64(16)
+	for {
+		for c.Read(addr) != 0 {
+			c.Compute(backoff)
+			if backoff < 1024 {
+				backoff *= 2
+			}
+		}
+		if c.TestAndSet(addr) == 0 {
+			return
+		}
+		c.Compute(backoff)
+		if backoff < 4096 {
+			backoff *= 2
+		}
+	}
+}
+
+// ReleaseLock releases a spin lock acquired with AcquireLock.
+func (c *Ctx) ReleaseLock(addr uint64) { c.Write(addr, 0) }
+
+// Runner adapts a Program goroutine into the pull interface the CPU model
+// consumes. It is not safe for concurrent use; each CPU owns one.
+type Runner struct {
+	ctx     *Ctx
+	prog    Program
+	started bool
+	done    bool
+}
+
+// NewRunner prepares prog to run as processor id of nprocs.
+func NewRunner(id, nprocs int, prog Program) *Runner {
+	return &Runner{ctx: newCtx(id, nprocs), prog: prog}
+}
+
+// Next resumes the workload with the result of its previous reference and
+// returns the next one. The first call starts the goroutine. After RefDone
+// is returned, Next must not be called again.
+func (r *Runner) Next(prev uint64) Ref {
+	if r.done {
+		panic("proc: Next called after RefDone")
+	}
+	if !r.started {
+		r.started = true
+		go func() {
+			r.prog(r.ctx)
+			r.ctx.refs <- Ref{Kind: RefDone}
+		}()
+	} else {
+		r.ctx.resume <- prev
+	}
+	ref := <-r.ctx.refs
+	if ref.Kind == RefDone {
+		r.done = true
+	}
+	return ref
+}
+
+// Done reports whether the workload has finished.
+func (r *Runner) Done() bool { return r.done }

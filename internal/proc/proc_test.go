@@ -1,0 +1,277 @@
+package proc
+
+import (
+	"testing"
+
+	"numachine/internal/cache"
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+func testGeom() topo.Geometry {
+	return topo.Geometry{ProcsPerStation: 4, StationsPerRing: 4, Rings: 1}
+}
+
+// runCPU ticks the CPU and collects its outgoing messages.
+func runCPU(c *CPU, from, cycles int64) (int64, []*msg.Message) {
+	var out []*msg.Message
+	for i := int64(0); i < cycles; i++ {
+		c.Tick(from)
+		for {
+			m, ok := c.BusOut().Pop(from)
+			if !ok {
+				break
+			}
+			out = append(out, m)
+		}
+		from++
+	}
+	return from, out
+}
+
+func newCPU(prog Program) *CPU {
+	g := testGeom()
+	p := sim.DefaultParams()
+	p.L2Lines = 64
+	c := New(g, p, 0, NewRunner(0, 1, prog), 16)
+	c.HomeOf = func(line uint64) int { return 0 }
+	return c
+}
+
+func TestRunnerHandshake(t *testing.T) {
+	r := NewRunner(0, 1, func(c *Ctx) {
+		if v := c.Read(0x40); v != 7 {
+			t.Errorf("read resumed with %d, want 7", v)
+		}
+		c.Write(0x80, 1)
+	})
+	ref := r.Next(0)
+	if ref.Kind != RefRead || ref.Addr != 0x40 {
+		t.Fatalf("first ref %+v", ref)
+	}
+	ref = r.Next(7)
+	if ref.Kind != RefWrite || ref.Addr != 0x80 {
+		t.Fatalf("second ref %+v", ref)
+	}
+	ref = r.Next(0)
+	if ref.Kind != RefDone || !r.Done() {
+		t.Fatalf("final ref %+v done=%v", ref, r.Done())
+	}
+}
+
+func TestMissIssuesLocalRead(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) { ctx.Read(0x1000) })
+	now, out := runCPU(c, 0, 10)
+	if len(out) != 1 || out[0].Type != msg.LocalRead {
+		t.Fatalf("issued %v, want one LocalRead", out)
+	}
+	if out[0].DstMod != testGeom().ModMem() {
+		t.Errorf("local line sent to module %d, want memory", out[0].DstMod)
+	}
+	// Response fills Shared and completes the program.
+	c.BusDeliver(&msg.Message{Type: msg.ProcData, Line: 0x1000, Data: 5}, now)
+	now, _ = runCPU(c, now, 60)
+	if !c.Done() {
+		t.Fatal("program did not complete after the fill")
+	}
+	if l := c.L2().Probe(0x1000); l == nil || l.State != cache.Shared || l.Data != 5 {
+		t.Fatalf("L2 after read fill: %+v", l)
+	}
+}
+
+func TestRemoteLineGoesToNC(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) { ctx.Read(0x1000) })
+	c.HomeOf = func(line uint64) int { return 3 }
+	_, out := runCPU(c, 0, 10)
+	if out[0].DstMod != testGeom().ModNC() {
+		t.Errorf("remote line sent to module %d, want NC", out[0].DstMod)
+	}
+	if out[0].Home != 3 {
+		t.Errorf("home station %d, want 3", out[0].Home)
+	}
+}
+
+func TestWriteMissThenHit(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) {
+		ctx.Write(0x1000, 11)
+		ctx.Write(0x1000, 12) // second write hits the dirty line
+	})
+	now, out := runCPU(c, 0, 10)
+	if len(out) != 1 || out[0].Type != msg.LocalReadEx {
+		t.Fatalf("issued %v, want LocalReadEx", out)
+	}
+	c.BusDeliver(&msg.Message{Type: msg.ProcDataEx, Line: 0x1000, Data: 0}, now)
+	now, out = runCPU(c, now, 80)
+	if len(out) != 0 {
+		t.Fatalf("second write issued %v, want nothing (dirty hit)", out)
+	}
+	if !c.Done() {
+		t.Fatal("program incomplete")
+	}
+	if l := c.L2().Probe(0x1000); l.State != cache.Dirty || l.Data != 12 {
+		t.Fatalf("L2 %+v, want dirty 12", l)
+	}
+}
+
+func TestSharedWriteUpgrades(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) {
+		ctx.Read(0x1000)
+		ctx.Write(0x1000, 9)
+	})
+	now, out := runCPU(c, 0, 10)
+	c.BusDeliver(&msg.Message{Type: msg.ProcData, Line: 0x1000, Data: 1}, now)
+	now, out = runCPU(c, now, 60)
+	if len(out) != 1 || out[0].Type != msg.LocalUpgd {
+		t.Fatalf("issued %v, want LocalUpgd", out)
+	}
+	c.BusDeliver(&msg.Message{Type: msg.ProcUpgdAck, Line: 0x1000}, now)
+	runCPU(c, now, 60)
+	if l := c.L2().Probe(0x1000); l.State != cache.Dirty || l.Data != 9 {
+		t.Fatalf("L2 %+v after upgrade", l)
+	}
+}
+
+func TestUpgradeAckAfterInvalRefetches(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) {
+		ctx.Read(0x1000)
+		ctx.Write(0x1000, 9)
+	})
+	now, _ := runCPU(c, 0, 10)
+	c.BusDeliver(&msg.Message{Type: msg.ProcData, Line: 0x1000, Data: 1}, now)
+	now, out := runCPU(c, now, 60)
+	if out[0].Type != msg.LocalUpgd {
+		t.Fatalf("want LocalUpgd, got %v", out)
+	}
+	// Our copy dies before the ack arrives.
+	c.BusDeliver(&msg.Message{Type: msg.BusInval, Line: 0x1000, BusProcs: 1}, now)
+	c.BusDeliver(&msg.Message{Type: msg.ProcUpgdAck, Line: 0x1000}, now)
+	now, out = runCPU(c, now, 20)
+	if len(out) != 1 || out[0].Type != msg.LocalReadEx {
+		t.Fatalf("misfired ack must refetch exclusively, got %v", out)
+	}
+	if c.Stats.UpgradeRefetch.Value() != 1 {
+		t.Error("refetch not counted")
+	}
+	c.BusDeliver(&msg.Message{Type: msg.ProcDataEx, Line: 0x1000, Data: 1}, now)
+	runCPU(c, now, 60)
+	if !c.Done() {
+		t.Fatal("program incomplete")
+	}
+}
+
+func TestNAKRetries(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) { ctx.Read(0x1000) })
+	now, out := runCPU(c, 0, 10)
+	c.BusDeliver(&msg.Message{Type: msg.ProcNAK, Line: 0x1000, NakOf: msg.LocalRead}, now)
+	now, out = runCPU(c, now, int64(sim.DefaultParams().RetryDelay)+10)
+	if len(out) != 1 || out[0].Type != msg.LocalRead || !out[0].Retry {
+		t.Fatalf("retry issued %v, want marked LocalRead", out)
+	}
+	if c.Stats.NAKRetries.Value() != 1 {
+		t.Error("retry not counted")
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	// Two lines mapping to the same direct-mapped set: writing the second
+	// evicts the first and must emit a write-back.
+	p := sim.DefaultParams()
+	p.L2Lines = 64
+	conflict := uint64(64 * 64)
+	c := newCPU(func(ctx *Ctx) {
+		ctx.Write(0x0, 1)
+		ctx.Write(conflict, 2)
+	})
+	now, out := runCPU(c, 0, 10)
+	c.BusDeliver(&msg.Message{Type: msg.ProcDataEx, Line: 0, Data: 0}, now)
+	now, out = runCPU(c, now, 60)
+	if len(out) != 1 || out[0].Type != msg.LocalReadEx {
+		t.Fatalf("second write issued %v", out)
+	}
+	c.BusDeliver(&msg.Message{Type: msg.ProcDataEx, Line: conflict, Data: 0}, now)
+	now, out = runCPU(c, now, 60)
+	if len(out) != 1 || out[0].Type != msg.LocalWrBack || out[0].Data != 1 {
+		t.Fatalf("eviction emitted %v, want write-back of value 1", out)
+	}
+	_ = now
+}
+
+func TestInterventionSuppliesDirtyAndDowngrades(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) {
+		ctx.Write(0x1000, 5)
+		ctx.Compute(1000)
+	})
+	now, _ := runCPU(c, 0, 10)
+	c.BusDeliver(&msg.Message{Type: msg.ProcDataEx, Line: 0x1000, Data: 0}, now)
+	now, _ = runCPU(c, now, 40)
+	c.BusDeliver(&msg.Message{Type: msg.BusIntervention, Line: 0x1000,
+		BusProcs: 1, SrcMod: testGeom().ModMem(), AlsoProc: 2}, now)
+	now, out := runCPU(c, now, 10)
+	if len(out) != 1 || out[0].Type != msg.IntervResp || out[0].Data != 5 {
+		t.Fatalf("intervention response %v", out)
+	}
+	if out[0].AlsoProc != 2 {
+		t.Error("AlsoProc not propagated for bus snarfing")
+	}
+	if l := c.L2().Probe(0x1000); l.State != cache.Shared {
+		t.Errorf("owner state %v after shared intervention, want Shared", l.State)
+	}
+	// An exclusive intervention on the shared copy reports a miss but
+	// invalidates it.
+	c.BusDeliver(&msg.Message{Type: msg.BusIntervention, Line: 0x1000,
+		BusProcs: 1, SrcMod: testGeom().ModMem(), Ex: true}, now)
+	now, out = runCPU(c, now, 10)
+	if len(out) != 1 || out[0].Type != msg.IntervMiss {
+		t.Fatalf("exclusive intervention on shared copy: %v", out)
+	}
+	if c.L2().Probe(0x1000) != nil {
+		t.Error("shared copy survived an exclusive intervention")
+	}
+	_ = now
+}
+
+func TestRMWReturnsOldValue(t *testing.T) {
+	var old1, old2 uint64
+	c := newCPU(func(ctx *Ctx) {
+		old1 = ctx.TestAndSet(0x1000)
+		old2 = ctx.FetchAdd(0x1000, 10)
+	})
+	now, _ := runCPU(c, 0, 10)
+	c.BusDeliver(&msg.Message{Type: msg.ProcDataEx, Line: 0x1000, Data: 0}, now)
+	runCPU(c, now, 100)
+	if !c.Done() {
+		t.Fatal("program incomplete")
+	}
+	if old1 != 0 || old2 != 1 {
+		t.Errorf("TAS returned %d (want 0), FetchAdd returned %d (want 1)", old1, old2)
+	}
+	if l := c.L2().Probe(0x1000); l.Data != 11 {
+		t.Errorf("final value %d, want 11", l.Data)
+	}
+}
+
+func TestL1FilterCountsHits(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) {
+		ctx.Read(0x1000)
+		ctx.Read(0x1000) // L1 hit
+		ctx.Read(0x1000) // L1 hit
+	})
+	now, _ := runCPU(c, 0, 10)
+	c.BusDeliver(&msg.Message{Type: msg.ProcData, Line: 0x1000, Data: 5}, now)
+	runCPU(c, now, 100)
+	if c.Stats.L1Hits.Value() != 2 {
+		t.Errorf("L1 hits = %d, want 2", c.Stats.L1Hits.Value())
+	}
+	if c.Stats.Misses.Value() != 1 {
+		t.Errorf("misses = %d, want 1", c.Stats.Misses.Value())
+	}
+}
+
+func TestInterruptRegister(t *testing.T) {
+	c := newCPU(func(ctx *Ctx) { ctx.Compute(5) })
+	c.BusDeliver(&msg.Message{Type: msg.NetInterrupt, SrcStation: 3, BusProcs: 1}, 0)
+	if c.InterruptReg != 1<<3 {
+		t.Errorf("interrupt register %b, want bit 3", c.InterruptReg)
+	}
+}

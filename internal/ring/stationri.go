@@ -1,0 +1,248 @@
+package ring
+
+import (
+	"numachine/internal/monitor"
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+// Credits bounds the number of nonsinkable messages each station may have
+// in the network at once (§2.4: up to 16 in the prototype). The bound is
+// what makes the sinkable/nonsinkable queueing discipline deadlock-free.
+type Credits struct {
+	max      int
+	inFlight []int
+}
+
+// NewCredits creates the accounting for the given number of stations.
+func NewCredits(stations, max int) *Credits {
+	return &Credits{max: max, inFlight: make([]int, stations)}
+}
+
+// TryAcquire reserves a slot for a nonsinkable message from station st.
+func (c *Credits) TryAcquire(st int) bool {
+	if c.max > 0 && c.inFlight[st] >= c.max {
+		return false
+	}
+	c.inFlight[st]++
+	return true
+}
+
+// Release returns the slot when the message is consumed at its target.
+func (c *Credits) Release(st int) {
+	if c.inFlight[st] <= 0 {
+		panic("ring: nonsinkable credit underflow")
+	}
+	c.inFlight[st]--
+}
+
+// InFlight reports station st's outstanding nonsinkable messages.
+func (c *Credits) InFlight(st int) int { return c.inFlight[st] }
+
+// StationRI is the local ring interface of one station (Figure 11). On the
+// upward path it packetizes bus messages into the sinkable or nonsinkable
+// output queue and injects packets into free slots (sinkable first). On
+// the downward path it reassembles packets from its input FIFO into
+// messages and forwards them onto the station bus.
+type StationRI struct {
+	Station int
+
+	g       topo.Geometry
+	p       sim.Params
+	ringID  int
+	pos     int
+	credits *Credits
+
+	busOutQ  *sim.Queue[*msg.Message] // toward the station bus
+	sinkQ    *sim.Queue[*msg.Packet]
+	nonsinkQ *sim.Queue[*msg.Packet]
+	inFIFO   *sim.Queue[*msg.Packet]
+
+	reasm      map[*msg.Message]int
+	firstSeen  map[*msg.Message]int64
+	unpackBusy int64
+
+	// Figure 18a measurements.
+	SendDelay   monitor.Sampler // output-queue wait, upward path
+	DownSink    monitor.Sampler // arrival->bus-handoff, sinkable
+	DownNonsink monitor.Sampler // arrival->bus-handoff, nonsinkable
+	// Delivered counts messages handed to the bus; Injected counts packets
+	// placed on the ring.
+	Delivered monitor.Counter
+	Injected  monitor.Counter
+}
+
+// NewStationRI builds the ring interface for a station.
+func NewStationRI(g topo.Geometry, p sim.Params, station int, credits *Credits) *StationRI {
+	return &StationRI{
+		Station:   station,
+		g:         g,
+		p:         p,
+		ringID:    g.RingOf(station),
+		pos:       g.PosOf(station),
+		credits:   credits,
+		busOutQ:   sim.NewQueue[*msg.Message](0),
+		sinkQ:     sim.NewQueue[*msg.Packet](0),
+		nonsinkQ:  sim.NewQueue[*msg.Packet](0),
+		inFIFO:    sim.NewQueue[*msg.Packet](p.RingInputFIFO),
+		reasm:     make(map[*msg.Message]int),
+		firstSeen: make(map[*msg.Message]int64),
+	}
+}
+
+// BusOut implements bus.Module: messages arriving from the ring exit here.
+func (r *StationRI) BusOut() *sim.Queue[*msg.Message] { return r.busOutQ }
+
+// BusDeliver implements bus.Module: a station module handed us a message
+// bound for the network. The packet generator splits it into ring packets.
+func (r *StationRI) BusDeliver(m *msg.Message, now int64) {
+	// Degenerate but legal: a message addressed to this very station loops
+	// back locally (single-station machines).
+	if m.DstStation == r.Station && m.Type != msg.Invalidate {
+		cp := *m
+		r.route(&cp)
+		r.busOutQ.Push(&cp, now)
+		return
+	}
+	mask := m.Mask
+	multicast := m.Type == msg.Invalidate || m.Type == msg.NetInterrupt || m.Type == msg.NetBarrier
+	if !multicast || mask.IsZero() {
+		mask = r.g.MaskFor(m.DstStation)
+	}
+	// A mask confined to this ring is already at its highest level: clear
+	// the rings field so the packet travels in descend mode.
+	if mask.Rings == 1<<uint(r.ringID) {
+		mask.Rings = 0
+	}
+	n := m.Packets(r.p.PacketsPerLine)
+	q := r.sinkQ
+	if !m.Type.Sinkable() {
+		q = r.nonsinkQ
+	}
+	for i := 0; i < n; i++ {
+		q.Push(&msg.Packet{
+			Msg:        m,
+			Seq:        i,
+			Of:         n,
+			Mask:       mask,
+			Sequenced:  m.Type != msg.Invalidate,
+			EnqueuedAt: now,
+			ReadyAt:    now + int64(r.p.RIPackCycles),
+		}, now)
+	}
+}
+
+// InputFull implements Node flow control: halt the ring when the input
+// FIFO can no longer absorb one packet per tick safely.
+func (r *StationRI) InputFull() bool {
+	return r.inFIFO.Capacity > 0 && r.inFIFO.Len() >= r.inFIFO.Capacity-1
+}
+
+// HandleSlot implements Node: consume packets addressed to this station,
+// inject pending output into free slots.
+func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
+	if pkt != nil {
+		if pkt.Mask.Rings == 0 && pkt.Mask.Stations&(1<<uint(r.pos)) != 0 && pkt.Sequenced {
+			if !r.inFIFO.Full() {
+				cp := *pkt
+				r.inFIFO.Push(&cp, now)
+				pkt.Mask.Stations &^= 1 << uint(r.pos)
+				if pkt.Mask.Stations == 0 {
+					return nil // last destination: free the slot
+				}
+			}
+		}
+		return pkt
+	}
+	// Free slot: sinkable output has priority (§2.4).
+	if pk, ok := r.sinkQ.Peek(); ok && pk.ReadyAt <= now {
+		r.sinkQ.Pop(now)
+		r.SendDelay.Sample(now - pk.EnqueuedAt)
+		r.Injected.Inc()
+		return pk
+	}
+	if pk, ok := r.nonsinkQ.Peek(); ok && pk.ReadyAt <= now {
+		// Nonsinkable messages are single packets; each consumes a credit.
+		if r.credits == nil || r.credits.TryAcquire(pk.Msg.SrcStation) {
+			r.nonsinkQ.Pop(now)
+			r.SendDelay.Sample(now - pk.EnqueuedAt)
+			r.Injected.Inc()
+			return pk
+		}
+	}
+	return nil
+}
+
+// Tick drains the input FIFO through the packet handler, reassembling
+// messages and handing completed ones to the station bus.
+func (r *StationRI) Tick(now int64) {
+	if now&31 == 0 {
+		r.inFIFO.Observe()
+	}
+	for now >= r.unpackBusy {
+		pkt, ok := r.inFIFO.Pop(now)
+		if !ok {
+			return
+		}
+		m := pkt.Msg
+		if _, seen := r.firstSeen[m]; !seen {
+			r.firstSeen[m] = pkt.EnqueuedAt
+		}
+		r.reasm[m]++
+		if r.reasm[m] < pkt.Of {
+			continue
+		}
+		// Message complete: deliver a private copy to the bus.
+		delete(r.reasm, m)
+		first := r.firstSeen[m]
+		delete(r.firstSeen, m)
+		cp := *m
+		r.route(&cp)
+		if m.Type.Sinkable() {
+			r.DownSink.Sample(now - first)
+		} else {
+			r.DownNonsink.Sample(now - first)
+		}
+		if !m.Type.Sinkable() && r.credits != nil {
+			r.credits.Release(m.SrcStation)
+		}
+		r.busOutQ.Push(&cp, now)
+		r.Delivered.Inc()
+		r.unpackBusy = now + int64(r.p.RIUnpackCycles)
+	}
+}
+
+// route assigns the station-bus destination of an incoming network
+// message: memory-directed traffic has this station as home, everything
+// else concerns the network cache, and interrupt/barrier writes go to
+// processors.
+func (r *StationRI) route(m *msg.Message) {
+	switch m.Type {
+	case msg.NetInterrupt, msg.NetBarrier:
+		m.DstMod = -1 // bus multicasts to BusProcs
+		if m.BusProcs == 0 {
+			m.BusProcs = 1<<uint(r.g.ProcsPerStation) - 1
+		}
+		m.DstMod = r.g.ModProc(0) // fallback target; bus multicast handles fan-out
+	default:
+		if m.Home == r.Station {
+			m.DstMod = r.g.ModMem()
+		} else {
+			m.DstMod = r.g.ModNC()
+		}
+	}
+	m.SrcMod = r.g.ModRI()
+	m.DstStation = r.Station
+}
+
+// QueueStats exposes queue statistics for the monitoring reports.
+func (r *StationRI) QueueStats() (sendSink, sendNonsink, input sim.QueueStats) {
+	return r.sinkQ.Stats(), r.nonsinkQ.Stats(), r.inFIFO.Stats()
+}
+
+// Idle reports whether the interface holds no packets or messages.
+func (r *StationRI) Idle() bool {
+	return r.sinkQ.Empty() && r.nonsinkQ.Empty() && r.inFIFO.Empty() &&
+		r.busOutQ.Empty() && len(r.reasm) == 0
+}

@@ -1,0 +1,122 @@
+// Package sim provides the shared substrate for the NUMAchine behavioral
+// simulator: the timing parameter set, deterministic pseudo-randomness,
+// instrumented FIFO queues and small helpers used by every component model.
+//
+// All times are expressed in CPU clock cycles. The prototype CPU is a
+// 150 MHz MIPS R4400, so one cycle is 6.67 ns; results can be converted to
+// nanoseconds with Params.CyclesToNS.
+package sim
+
+// Params collects every architectural and timing knob of the simulated
+// machine. DefaultParams is calibrated so that the contention-free latency
+// probe reproduces the paper's Table 1 within a small tolerance.
+type Params struct {
+	// Geometry-independent structure.
+	LineSize    int // cache line size in bytes (64 in the prototype)
+	PageSize    int // physical page size used for placement (4096)
+	L2Lines     int // secondary cache capacity in lines, per processor
+	L2Assoc     int // secondary cache associativity (1 = direct mapped)
+	NCLines     int // network cache capacity in lines, per station
+	CPUClockMHz int // for cycle<->ns conversion only
+
+	// Processor / secondary cache timing.
+	L2HitCycles      int // load-to-use for an L2 hit (L1 miss)
+	L2TagCycles      int // tag probe cost paid on the miss path
+	ProcMissOverhead int // external-agent + FIFO overhead on any miss
+	L2FillCycles     int // writing a fetched line into the L2
+	RetryDelay       int // back-off before re-issuing a NAK'ed request
+
+	// Station bus timing.
+	BusArbCycles  int // arbitration latency once the bus is free
+	BusCmdCycles  int // occupancy of a command-only transfer
+	BusDataCycles int // additional occupancy for a cache-line payload
+
+	// Memory module timing.
+	MemDirCycles  int // SRAM directory lookup + update
+	MemDRAMCycles int // DRAM access for a line
+
+	// Network cache timing.
+	NCDirCycles  int // SRAM tag/state lookup + update
+	NCDRAMCycles int // DRAM access for a line
+
+	// Ring and ring interface timing.
+	RingHopCycles  int // one slot advance (ring clock vs CPU clock ratio)
+	PacketsPerLine int // packets needed for a cache-line payload (headers excluded)
+	RIPackCycles   int // packet generator latency (bus -> ring)
+	RIUnpackCycles int // packet handler latency (ring -> bus)
+	IRICycles      int // inter-ring interface switch latency, each way
+	RingInputFIFO  int // ring-interface input FIFO capacity (flow control)
+	IRIFIFO        int // inter-ring interface FIFO capacity per direction (0 = unbounded)
+	MaxNonsinkable int // nonsinkable messages in flight per station (16)
+
+	// Protocol options (the paper's design choices; flipping them gives the
+	// ablation experiments).
+	SCLocking          bool // hold write data until the invalidation returns (§2.3)
+	OptimisticUpgrades bool // ack-only upgrades when the directory is ambiguous
+	NCEnabled          bool // network cache present (off = all remote refs go home)
+
+	// Watchdog: abort the simulation if no processor makes progress for this
+	// many cycles (0 disables). Catches protocol deadlocks in development.
+	DeadlockCycles int64
+
+	// TraceLine, when non-zero, makes every component log its handling of
+	// messages for that line address to stdout — the software analogue of
+	// attaching the monitoring hardware's trace memory to one line.
+	TraceLine uint64
+}
+
+// DefaultParams returns the calibrated prototype parameter set.
+func DefaultParams() Params {
+	return Params{
+		LineSize:    64,
+		PageSize:    4096,
+		L2Lines:     16384, // 1 MB / 64 B
+		L2Assoc:     1,
+		NCLines:     65536, // 4 MB / 64 B
+		CPUClockMHz: 150,
+
+		L2HitCycles:      4,
+		L2TagCycles:      3,
+		ProcMissOverhead: 20,
+		L2FillCycles:     8,
+		RetryDelay:       24,
+
+		BusArbCycles:  2,
+		BusCmdCycles:  3,
+		BusDataCycles: 12,
+
+		MemDirCycles:  6,
+		MemDRAMCycles: 34,
+
+		NCDirCycles:  6,
+		NCDRAMCycles: 24,
+
+		RingHopCycles:  3,
+		PacketsPerLine: 4,
+		RIPackCycles:   6,
+		RIUnpackCycles: 6,
+		IRICycles:      6,
+		RingInputFIFO:  64,
+		// The paper sizes these so they never fill ("in simulations of our
+		// prototype machine these buffers never contain more than 60
+		// packets"); a bounded IRI buffer feeding a halted ring can close a
+		// circular stall, so the model leaves them unbounded and reports
+		// their observed depths instead.
+		IRIFIFO:        0,
+		MaxNonsinkable: 16,
+
+		SCLocking:          true,
+		OptimisticUpgrades: true,
+		NCEnabled:          true,
+
+		DeadlockCycles: 3_000_000,
+	}
+}
+
+// CyclesToNS converts a cycle count to nanoseconds at the configured clock.
+func (p Params) CyclesToNS(cycles int64) float64 {
+	return float64(cycles) * 1000.0 / float64(p.CPUClockMHz)
+}
+
+// LinesPerPage returns the number of cache lines per page.
+func (p Params) LinesPerPage() int { return p.PageSize / p.LineSize }

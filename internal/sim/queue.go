@@ -1,0 +1,112 @@
+package sim
+
+// Queue is an instrumented FIFO used for every buffer in the machine
+// (processor FIFOs, memory input queues, ring interface queues). It records
+// occupancy and waiting-time statistics so the monitoring subsystem can
+// reproduce the paper's FIFO-depth and queueing-delay measurements.
+type Queue[T any] struct {
+	items []entry[T]
+	head  int
+
+	// Capacity <= 0 means unbounded.
+	Capacity int
+
+	// Statistics.
+	totalEnq int64
+	sumDelay int64 // cycles spent queued, summed over dequeued items
+	sumDepth int64 // depth integrated over observations
+	depthObs int64
+	maxDepth int
+}
+
+type entry[T any] struct {
+	v  T
+	at int64 // enqueue cycle
+}
+
+// NewQueue returns a queue with the given capacity (<=0 for unbounded).
+func NewQueue[T any](capacity int) *Queue[T] {
+	return &Queue[T]{Capacity: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) - q.head }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue[T]) Full() bool { return q.Capacity > 0 && q.Len() >= q.Capacity }
+
+// Empty reports whether the queue holds no items.
+func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
+
+// Push enqueues v at simulation time now. It returns false (and drops
+// nothing) when the queue is full; callers must check.
+func (q *Queue[T]) Push(v T, now int64) bool {
+	if q.Full() {
+		return false
+	}
+	q.items = append(q.items, entry[T]{v: v, at: now})
+	if d := q.Len(); d > q.maxDepth {
+		q.maxDepth = d
+	}
+	q.totalEnq++
+	return true
+}
+
+// Peek returns the head item without removing it. ok is false when empty.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if q.Empty() {
+		return v, false
+	}
+	return q.items[q.head].v, true
+}
+
+// Pop removes and returns the head item, recording its queueing delay.
+func (q *Queue[T]) Pop(now int64) (v T, ok bool) {
+	if q.Empty() {
+		return v, false
+	}
+	e := q.items[q.head]
+	var zero T
+	q.items[q.head] = entry[T]{v: zero} // release reference
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	} else if q.head > 64 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		for i := n; i < len(q.items); i++ {
+			q.items[i] = entry[T]{}
+		}
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	q.sumDelay += now - e.at
+	return e.v, true
+}
+
+// Observe samples the current depth into the occupancy statistics. The
+// machine calls this once per cycle on monitored queues.
+func (q *Queue[T]) Observe() {
+	q.sumDepth += int64(q.Len())
+	q.depthObs++
+}
+
+// Stats summarizes the queue's activity.
+type QueueStats struct {
+	Enqueued  int64
+	MeanDelay float64 // cycles, over dequeued items
+	MeanDepth float64 // over Observe samples
+	MaxDepth  int
+}
+
+// Stats returns a snapshot of the accumulated statistics.
+func (q *Queue[T]) Stats() QueueStats {
+	s := QueueStats{Enqueued: q.totalEnq, MaxDepth: q.maxDepth}
+	if done := q.totalEnq - int64(q.Len()); done > 0 {
+		s.MeanDelay = float64(q.sumDelay) / float64(done)
+	}
+	if q.depthObs > 0 {
+		s.MeanDepth = float64(q.sumDepth) / float64(q.depthObs)
+	}
+	return s
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	q := NewQueue[int](0)
+	for i := 0; i < 100; i++ {
+		if !q.Push(i, int64(i)) {
+			t.Fatal("unbounded push failed")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := q.Pop(int64(100 + i))
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%d, %v)", i, v, ok)
+		}
+	}
+	if _, ok := q.Pop(0); ok {
+		t.Error("pop from empty queue succeeded")
+	}
+}
+
+func TestQueueCapacity(t *testing.T) {
+	q := NewQueue[int](2)
+	if !q.Push(1, 0) || !q.Push(2, 0) {
+		t.Fatal("pushes under capacity failed")
+	}
+	if q.Push(3, 0) {
+		t.Error("push beyond capacity succeeded")
+	}
+	if !q.Full() {
+		t.Error("full queue not reported full")
+	}
+	q.Pop(1)
+	if q.Full() {
+		t.Error("queue still full after pop")
+	}
+}
+
+func TestQueueStats(t *testing.T) {
+	q := NewQueue[string](0)
+	q.Push("a", 10)
+	q.Push("b", 10)
+	q.Observe() // depth 2
+	q.Pop(20)   // delay 10
+	q.Observe() // depth 1
+	q.Pop(40)   // delay 30
+	s := q.Stats()
+	if s.Enqueued != 2 {
+		t.Errorf("enqueued = %d", s.Enqueued)
+	}
+	if s.MeanDelay != 20 {
+		t.Errorf("mean delay = %v, want 20", s.MeanDelay)
+	}
+	if s.MeanDepth != 1.5 {
+		t.Errorf("mean depth = %v, want 1.5", s.MeanDepth)
+	}
+	if s.MaxDepth != 2 {
+		t.Errorf("max depth = %d, want 2", s.MaxDepth)
+	}
+}
+
+// Property: any interleaving of pushes and pops preserves FIFO order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		q := NewQueue[int](0)
+		next, expect := 0, 0
+		for _, push := range ops {
+			if push {
+				q.Push(next, 0)
+				next++
+			} else if v, ok := q.Pop(0); ok {
+				if v != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return q.Len() == next-expect
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The queue compacts its backing storage; ordering must survive that.
+func TestQueueCompaction(t *testing.T) {
+	q := NewQueue[int](0)
+	n := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 40; i++ {
+			q.Push(n+i, 0)
+		}
+		for i := 0; i < 40; i++ {
+			v, ok := q.Pop(0)
+			if !ok || v != n+i {
+				t.Fatalf("round %d: pop = (%d, %v), want %d", round, v, ok, n+i)
+			}
+		}
+		n += 40
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds collide immediately")
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+	counts := make([]int, 4)
+	r = NewRNG(9)
+	for i := 0; i < 40000; i++ {
+		counts[r.Intn(4)]++
+	}
+	for b, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("bucket %d has %d/40000 samples (poor uniformity)", b, c)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestParamsConversions(t *testing.T) {
+	p := DefaultParams()
+	if ns := p.CyclesToNS(150); ns != 1000 {
+		t.Errorf("150 cycles at 150 MHz = %v ns, want 1000", ns)
+	}
+	if p.LinesPerPage() != 64 {
+		t.Errorf("lines per page = %d, want 64", p.LinesPerPage())
+	}
+}

@@ -1,0 +1,23 @@
+package topo
+
+// Station-bus module indices. Within a station, bus modules are numbered:
+// processors 0..P-1, then the memory module, the network cache, and the
+// local ring interface. These helpers centralize the numbering.
+
+// ModProc returns the bus module index of local processor i.
+func (g Geometry) ModProc(i int) int { return i }
+
+// ModMem returns the bus module index of the memory module.
+func (g Geometry) ModMem() int { return g.ProcsPerStation }
+
+// ModNC returns the bus module index of the network cache.
+func (g Geometry) ModNC() int { return g.ProcsPerStation + 1 }
+
+// ModRI returns the bus module index of the local ring interface.
+func (g Geometry) ModRI() int { return g.ProcsPerStation + 2 }
+
+// ModCount returns the number of bus modules on a station.
+func (g Geometry) ModCount() int { return g.ProcsPerStation + 3 }
+
+// IsProcMod reports whether a module index names a processor.
+func (g Geometry) IsProcMod(m int) bool { return m >= 0 && m < g.ProcsPerStation }

@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+	"numachine/internal/sim"
+)
+
+func init() { register("fft", buildFFT) }
+
+// buildFFT implements the SPLASH-2 FFT kernel: the six-step 1D FFT of n
+// complex doubles viewed as an s×s matrix (n = s²). Processors own
+// contiguous bands of rows; the three transpose steps are the all-to-all
+// communication phases that dominate its traffic. The paper ran 65536
+// points (M=16); the default here is 4096, scaled down for single-host
+// simulation. size must be a power of 4.
+func buildFFT(m *core.Machine, nprocs, size int) (*Instance, error) {
+	n := size
+	if n <= 0 {
+		n = 4096
+	}
+	s := 1
+	for s*s < n {
+		s *= 2
+	}
+	if s*s != n {
+		return nil, fmt.Errorf("fft: size %d is not a power of 4", n)
+	}
+	if nprocs > s {
+		return nil, fmt.Errorf("fft: %d processors for %d rows", nprocs, s)
+	}
+
+	rng := sim.NewRNG(0xF47)
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+	}
+	input := append([]complex128(nil), a...)
+	b := make([]complex128, n)
+
+	simA := newRegion(m, n, 16)
+	simB := newRegion(m, n, 16)
+
+	// transpose copies src^T into the caller's rows [rlo, rhi) of dst.
+	transpose := func(c *proc.Ctx, dst, src []complex128, simDst, simSrc region, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			for col := 0; col < s; col++ {
+				simSrc.read(c, col*s+r) // strided: walks remote rows
+				dst[r*s+col] = src[col*s+r]
+				simDst.write(c, r*s+col)
+				c.Compute(1)
+			}
+		}
+	}
+	// rowFFT transforms rows [rlo, rhi) of x in place, mirroring one read
+	// and one write per element and charging the butterfly arithmetic.
+	logS := 0
+	for 1<<uint(logS) < s {
+		logS++
+	}
+	rowFFT := func(c *proc.Ctx, x []complex128, simX region, rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			simX.readRange(c, r*s, (r+1)*s)
+			fftInPlace(x[r*s : (r+1)*s])
+			c.Compute(int64(4 * s * logS))
+			simX.writeRange(c, r*s, (r+1)*s)
+		}
+	}
+
+	prog := func(c *proc.Ctx) {
+		rlo, rhi := blockRange(s, nprocs, c.ID)
+		// Step 1: transpose A -> B.
+		transpose(c, b, a, simB, simA, rlo, rhi)
+		c.Barrier()
+		// Step 2: FFT the rows of B.
+		rowFFT(c, b, simB, rlo, rhi)
+		// Step 3: twiddle multiply (own rows, no communication).
+		for r := rlo; r < rhi; r++ {
+			for col := 0; col < s; col++ {
+				w := cmplx.Exp(complex(0, -2*math.Pi*float64(r)*float64(col)/float64(n)))
+				b[r*s+col] *= w
+			}
+			simB.readRange(c, r*s, (r+1)*s)
+			simB.writeRange(c, r*s, (r+1)*s)
+			c.Compute(int64(8 * s))
+		}
+		c.Barrier()
+		// Step 4: transpose B -> A.
+		transpose(c, a, b, simA, simB, rlo, rhi)
+		c.Barrier()
+		// Step 5: FFT the rows of A.
+		rowFFT(c, a, simA, rlo, rhi)
+		c.Barrier()
+		// Step 6: transpose A -> B (final order).
+		transpose(c, b, a, simB, simA, rlo, rhi)
+	}
+
+	progs := make([]proc.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	check := func() error {
+		want := append([]complex128(nil), input...)
+		refFFT(want)
+		var maxErr float64
+		for i := range want {
+			if e := cmplx.Abs(b[i] - want[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 1e-6 {
+			return fmt.Errorf("fft: max error %g vs reference", maxErr)
+		}
+		return nil
+	}
+	return &Instance{Name: "fft", Progs: progs, Check: check}, nil
+}
+
+// fftInPlace is an iterative radix-2 Cooley-Tukey FFT.
+func fftInPlace(x []complex128) {
+	n := len(x)
+	// Bit reversal.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// refFFT is the host reference transform (recursive, independent of the
+// six-step composition under test).
+func refFFT(x []complex128) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	refFFT(even)
+	refFFT(odd)
+	for k := 0; k < n/2; k++ {
+		t := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n))) * odd[k]
+		x[k] = even[k] + t
+		x[k+n/2] = even[k] - t
+	}
+}

@@ -1,0 +1,269 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+	"numachine/internal/sim"
+)
+
+func init() {
+	register("lu-contig", func(m *core.Machine, nprocs, size int) (*Instance, error) {
+		return buildLU(m, nprocs, size, true)
+	})
+	register("lu-noncontig", func(m *core.Machine, nprocs, size int) (*Instance, error) {
+		return buildLU(m, nprocs, size, false)
+	})
+}
+
+// procGrid factors nprocs into the most square pr x pc grid.
+func procGrid(nprocs int) (pr, pc int) {
+	pr = int(math.Sqrt(float64(nprocs)))
+	for nprocs%pr != 0 {
+		pr--
+	}
+	return pr, nprocs / pr
+}
+
+// blockMatrix is an n×n matrix of float64 in simulated shared memory with
+// one of the two SPLASH-2 LU layouts: contiguous blocks (each b×b block
+// occupies consecutive lines — no false sharing) or a plain row-major 2D
+// array (block rows interleave in memory — the "non-contiguous" variant
+// whose false sharing the paper's Figure 13 exposes).
+type blockMatrix struct {
+	a      []float64
+	n, b   int
+	contig bool
+	sim    region
+}
+
+func newBlockMatrix(m *core.Machine, n, b int, contig bool) *blockMatrix {
+	return &blockMatrix{
+		a:      make([]float64, n*n),
+		n:      n,
+		b:      b,
+		contig: contig,
+		sim:    newRegion(m, n*n, 8),
+	}
+}
+
+// at and set access the host values (row-major indexing).
+func (bm *blockMatrix) at(i, j int) float64     { return bm.a[i*bm.n+j] }
+func (bm *blockMatrix) set(i, j int, v float64) { bm.a[i*bm.n+j] = v }
+
+// simIndex maps element (i, j) to its simulated element index per layout.
+func (bm *blockMatrix) simIndex(i, j int) int {
+	if !bm.contig {
+		return i*bm.n + j
+	}
+	K := bm.n / bm.b
+	bi, bj := i/bm.b, j/bm.b
+	ii, jj := i%bm.b, j%bm.b
+	return ((bi*K+bj)*bm.b+ii)*bm.b + jj
+}
+
+// touchBlock mirrors one read (and optionally one write) per element of
+// block (bi, bj) onto the simulated memory.
+func (bm *blockMatrix) touchBlock(c *proc.Ctx, bi, bj int, write bool) {
+	for ii := 0; ii < bm.b; ii++ {
+		i := bi*bm.b + ii
+		for jj := 0; jj < bm.b; jj++ {
+			j := bj*bm.b + jj
+			idx := bm.simIndex(i, j)
+			bm.sim.read(c, idx)
+			if write {
+				c.Write(bm.sim.addr(idx), uint64(idx))
+			}
+		}
+	}
+}
+
+// buildLU implements the SPLASH-2 LU kernel: blocked dense LU
+// factorization without pivoting, blocks 2D-scattered over a processor
+// grid. The paper ran a 512×512 matrix with 16×16 blocks; the default
+// here is 96×96 with 8×8 blocks.
+func buildLU(m *core.Machine, nprocs, size int, contig bool) (*Instance, error) {
+	n := size
+	if n <= 0 {
+		n = 96
+	}
+	b := 8
+	if n%12 == 0 {
+		// A 12-element block row (96 bytes) straddles cache lines, exposing
+		// the non-contiguous layout's false sharing as in the paper.
+		b = 12
+	} else if n >= 256 {
+		b = 16
+	}
+	if n%b != 0 {
+		return nil, fmt.Errorf("lu: size %d not a multiple of the block size %d", n, b)
+	}
+	K := n / b
+	pr, pc := procGrid(nprocs)
+
+	bm := newBlockMatrix(m, n, b, contig)
+	// Diagonally dominant matrix: stable without pivoting.
+	rng := sim.NewRNG(0x10)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := rng.Float64() - 0.5
+			if i == j {
+				v += float64(n)
+			}
+			bm.set(i, j, v)
+		}
+	}
+	orig := append([]float64(nil), bm.a...)
+	owner := func(bi, bj int) int { return (bi%pr)*pc + bj%pc }
+
+	name := "lu-contig"
+	if !contig {
+		name = "lu-noncontig"
+	}
+
+	prog := func(c *proc.Ctx) {
+		id := c.ID
+		for k := 0; k < K; k++ {
+			// Factor the diagonal block.
+			if owner(k, k) == id {
+				bm.touchBlock(c, k, k, true)
+				factorDiag(bm, k)
+				c.Compute(int64(2 * b * b * b / 3))
+			}
+			c.Barrier()
+			// Perimeter blocks.
+			for j := k + 1; j < K; j++ {
+				if owner(k, j) == id {
+					bm.touchBlock(c, k, k, false)
+					bm.touchBlock(c, k, j, true)
+					solveRow(bm, k, j)
+					c.Compute(int64(2 * b * b * b))
+				}
+			}
+			for i := k + 1; i < K; i++ {
+				if owner(i, k) == id {
+					bm.touchBlock(c, k, k, false)
+					bm.touchBlock(c, i, k, true)
+					solveCol(bm, i, k)
+					c.Compute(int64(2 * b * b * b))
+				}
+			}
+			c.Barrier()
+			// Interior updates.
+			for i := k + 1; i < K; i++ {
+				for j := k + 1; j < K; j++ {
+					if owner(i, j) == id {
+						bm.touchBlock(c, i, k, false)
+						bm.touchBlock(c, k, j, false)
+						bm.touchBlock(c, i, j, true)
+						gemmUpdate(bm, i, j, k)
+						c.Compute(int64(4 * b * b * b)) // b^3 multiply-adds, latency-bound
+					}
+				}
+			}
+			c.Barrier()
+		}
+	}
+
+	progs := make([]proc.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	check := func() error { return checkLU(bm, orig) }
+	return &Instance{Name: name, Progs: progs, Check: check}, nil
+}
+
+// factorDiag performs unblocked LU on diagonal block k (host math).
+func factorDiag(bm *blockMatrix, k int) {
+	b, o := bm.b, k*bm.b
+	for p := 0; p < b; p++ {
+		piv := bm.at(o+p, o+p)
+		for i := p + 1; i < b; i++ {
+			l := bm.at(o+i, o+p) / piv
+			bm.set(o+i, o+p, l)
+			for j := p + 1; j < b; j++ {
+				bm.set(o+i, o+j, bm.at(o+i, o+j)-l*bm.at(o+p, o+j))
+			}
+		}
+	}
+}
+
+// solveRow computes U block (k, j): solve L(k,k) * X = A(k,j).
+func solveRow(bm *blockMatrix, k, j int) {
+	b, ok, oj := bm.b, k*bm.b, j*bm.b
+	for col := 0; col < b; col++ {
+		for row := 0; row < b; row++ {
+			v := bm.at(ok+row, oj+col)
+			for p := 0; p < row; p++ {
+				v -= bm.at(ok+row, ok+p) * bm.at(ok+p, oj+col)
+			}
+			bm.set(ok+row, oj+col, v)
+		}
+	}
+}
+
+// solveCol computes L block (i, k): solve X * U(k,k) = A(i,k).
+func solveCol(bm *blockMatrix, i, k int) {
+	b, oi, ok := bm.b, i*bm.b, k*bm.b
+	for row := 0; row < b; row++ {
+		for col := 0; col < b; col++ {
+			v := bm.at(oi+row, ok+col)
+			for p := 0; p < col; p++ {
+				v -= bm.at(oi+row, ok+p) * bm.at(ok+p, ok+col)
+			}
+			bm.set(oi+row, ok+col, v/bm.at(ok+col, ok+col))
+		}
+	}
+}
+
+// gemmUpdate applies A(i,j) -= L(i,k) * U(k,j).
+func gemmUpdate(bm *blockMatrix, i, j, k int) {
+	b, oi, oj, ok := bm.b, i*bm.b, j*bm.b, k*bm.b
+	for r := 0; r < b; r++ {
+		for cc := 0; cc < b; cc++ {
+			v := bm.at(oi+r, oj+cc)
+			for p := 0; p < b; p++ {
+				v -= bm.at(oi+r, ok+p) * bm.at(ok+p, oj+cc)
+			}
+			bm.set(oi+r, oj+cc, v)
+		}
+	}
+}
+
+// checkLU verifies L*U ~= original A.
+func checkLU(bm *blockMatrix, orig []float64) error {
+	n := bm.n
+	var maxErr, scale float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var v float64
+			for p := 0; p <= min(i, j); p++ {
+				l := bm.at(i, p)
+				if p == i {
+					l = 1
+				}
+				if p > i {
+					l = 0
+				}
+				u := bm.at(p, j)
+				if p > j {
+					u = 0
+				}
+				v += l * u
+			}
+			diff := math.Abs(v - orig[i*n+j])
+			if diff > maxErr {
+				maxErr = diff
+			}
+			if a := math.Abs(orig[i*n+j]); a > scale {
+				scale = a
+			}
+		}
+	}
+	if maxErr > 1e-8*scale*float64(n) {
+		return fmt.Errorf("lu: residual %g too large (scale %g)", maxErr, scale)
+	}
+	return nil
+}

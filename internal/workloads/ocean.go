@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"fmt"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+	"numachine/internal/sim"
+)
+
+func init() { register("ocean", buildOcean) }
+
+// buildOcean follows the SPLASH-2 Ocean application: the computational
+// core is a red-black Gauss-Seidel relaxation on a (g+2)×(g+2) grid with
+// fixed boundaries, rows partitioned contiguously across processors so
+// that only partition-boundary rows cause remote sharing. The paper ran a
+// 258×258 grid; the default here is 64 interior rows with 6 iterations.
+func buildOcean(m *core.Machine, nprocs, size int) (*Instance, error) {
+	g := size
+	if g <= 0 {
+		g = 64
+	}
+	if nprocs > g {
+		return nil, fmt.Errorf("ocean: %d processors for %d rows", nprocs, g)
+	}
+	const iters = 6
+	w := g + 2 // including boundary
+
+	grid := make([]float64, w*w)
+	rng := sim.NewRNG(0x0CEA)
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			if i == 0 || j == 0 || i == w-1 || j == w-1 {
+				grid[i*w+j] = rng.Float64() * 10 // fixed boundary values
+			}
+		}
+	}
+	simGrid := newRegion(m, w*w, 8)
+
+	residual := func() float64 {
+		var r float64
+		for i := 1; i <= g; i++ {
+			for j := 1; j <= g; j++ {
+				d := grid[i*w+j] - 0.25*(grid[(i-1)*w+j]+grid[(i+1)*w+j]+grid[i*w+j-1]+grid[i*w+j+1])
+				if d < 0 {
+					d = -d
+				}
+				if d > r {
+					r = d
+				}
+			}
+		}
+		return r
+	}
+	initialResidual := residual()
+
+	prog := func(c *proc.Ctx) {
+		rlo, rhi := blockRange(g, nprocs, c.ID)
+		rlo++ // interior rows are 1..g
+		rhi++
+		for it := 0; it < iters; it++ {
+			for color := 0; color < 2; color++ {
+				for i := rlo; i < rhi; i++ {
+					for j := 1; j <= g; j++ {
+						if (i+j)%2 != color {
+							continue
+						}
+						simGrid.read(c, (i-1)*w+j)
+						simGrid.read(c, (i+1)*w+j)
+						simGrid.read(c, i*w+j-1)
+						simGrid.read(c, i*w+j+1)
+						grid[i*w+j] = 0.25 * (grid[(i-1)*w+j] + grid[(i+1)*w+j] +
+							grid[i*w+j-1] + grid[i*w+j+1])
+						simGrid.write(c, i*w+j)
+						c.Compute(36) // the multigrid point update's flops at R4400 latencies
+					}
+				}
+				c.Barrier()
+			}
+		}
+	}
+
+	progs := make([]proc.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	check := func() error {
+		final := residual()
+		if final >= initialResidual/4 {
+			return fmt.Errorf("ocean: residual %g did not relax (initial %g)", final, initialResidual)
+		}
+		return nil
+	}
+	return &Instance{Name: "ocean", Progs: progs, Check: check}, nil
+}

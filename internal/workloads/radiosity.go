@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+	"numachine/internal/sim"
+)
+
+func init() { register("radiosity", buildRadiosity) }
+
+// buildRadiosity stands in for the SPLASH-2 Radiosity application (the
+// original's "room in batch mode" scene and hierarchical refinement are
+// tied to its geometry tooling; DESIGN.md documents the substitution).
+// The structure reproduced here is progressive-refinement radiosity: in
+// each iteration every processor shoots the unshot energy of its patches
+// through point-to-patch form factors — a read-shared sweep over the whole
+// patch database — into a per-processor contribution matrix; receivers
+// then gather the energy shot at them owner-computes (the
+// gather-distribute structure of the original without its task queues).
+// Default: 128 patches, 4 shooting iterations.
+func buildRadiosity(m *core.Machine, nprocs, size int) (*Instance, error) {
+	np := size
+	if np <= 0 {
+		np = 128
+	}
+	const (
+		iters   = 4
+		reflect = 0.5
+	)
+
+	// Patches on the walls of a unit cube "room": position, inward normal
+	// and area are procedural.
+	rng := sim.NewRNG(0x12AD105)
+	ppos := make([]vec3, np)
+	pnrm := make([]vec3, np)
+	area := make([]float64, np)
+	rad := make([]float64, np) // accumulated radiosity
+	unshot := make([]float64, np)
+	for i := 0; i < np; i++ {
+		wall := i % 6
+		u, v := rng.Float64(), rng.Float64()
+		switch wall {
+		case 0:
+			ppos[i], pnrm[i] = vec3{u, v, 0}, vec3{0, 0, 1}
+		case 1:
+			ppos[i], pnrm[i] = vec3{u, v, 1}, vec3{0, 0, -1}
+		case 2:
+			ppos[i], pnrm[i] = vec3{u, 0, v}, vec3{0, 1, 0}
+		case 3:
+			ppos[i], pnrm[i] = vec3{u, 1, v}, vec3{0, -1, 0}
+		case 4:
+			ppos[i], pnrm[i] = vec3{0, u, v}, vec3{1, 0, 0}
+		case 5:
+			ppos[i], pnrm[i] = vec3{1, u, v}, vec3{-1, 0, 0}
+		}
+		area[i] = 0.5 + rng.Float64()
+	}
+	// A handful of emitters seed the energy.
+	var initialEnergy float64
+	for i := 0; i < np; i += np / 4 {
+		unshot[i] = 10
+		rad[i] = 10
+		initialEnergy += 10 * area[i]
+	}
+
+	lineSz := m.Params().LineSize
+	simPatch := newRegion(m, np, lineSz) // geometry + radiosity record
+	// contrib[p*np + j]: energy processor p shot at patch j this iteration.
+	contrib := make([]float64, nprocs*np)
+	simContrib := newArray(m, nprocs*np)
+
+	formFactor := func(i, j int) float64 {
+		d := ppos[j].sub(ppos[i])
+		r2 := d.norm2()
+		if r2 < 1e-9 {
+			return 0
+		}
+		r := math.Sqrt(r2)
+		ci := (pnrm[i].x*d.x + pnrm[i].y*d.y + pnrm[i].z*d.z) / r
+		cj := -(pnrm[j].x*d.x + pnrm[j].y*d.y + pnrm[j].z*d.z) / r
+		if ci <= 0 || cj <= 0 {
+			return 0
+		}
+		return ci * cj * area[j] / (math.Pi*r2 + area[j])
+	}
+
+	// Host absorption bookkeeping for the energy-conservation check.
+	absorbed := make([]float64, nprocs)
+
+	prog := func(c *proc.Ctx) {
+		id := c.ID
+		lo, hi := blockRange(np, nprocs, id)
+		ff := make([]float64, np)
+		for it := 0; it < iters; it++ {
+			// Shooting: each processor distributes its patches' unshot
+			// energy into its own contribution row (no locks; the patch
+			// geometry sweep is the read-shared phase).
+			for i := lo; i < hi; i++ {
+				simPatch.read(c, i)
+				e := unshot[i]
+				if e == 0 {
+					continue
+				}
+				unshot[i] = 0
+				simPatch.write(c, i)
+				var sumFF float64
+				for j := 0; j < np; j++ {
+					ff[j] = 0
+					if j == i {
+						continue
+					}
+					simPatch.read(c, j)
+					ff[j] = formFactor(i, j)
+					sumFF += ff[j]
+					c.Compute(80) // form factor: sqrt, divides, dot products
+				}
+				scale := 1.0
+				if sumFF > 1 {
+					scale = 1 / sumFF
+				}
+				for j := 0; j < np; j++ {
+					if ff[j] == 0 {
+						continue
+					}
+					dE := e * ff[j] * scale * area[i] / area[j]
+					contrib[id*np+j] += reflect * dE
+					simContrib.write(c, id*np+j)
+					absorbed[id] += (1 - reflect) * dE * area[j]
+					c.Compute(4)
+				}
+				if sumFF < 1 {
+					absorbed[id] += e * (1 - sumFF) * area[i]
+				}
+			}
+			c.Barrier()
+			// Gathering: each patch's owner folds the energy every
+			// processor shot at it (owner-computes over the remote
+			// contribution rows — no locks).
+			for j := lo; j < hi; j++ {
+				var gain float64
+				for p := 0; p < nprocs; p++ {
+					simContrib.read(c, p*np+j)
+					gain += contrib[p*np+j]
+					contrib[p*np+j] = 0
+					c.Compute(2)
+				}
+				if gain != 0 {
+					rad[j] += gain
+					unshot[j] += gain
+					simPatch.write(c, j)
+				}
+			}
+			c.Barrier()
+		}
+	}
+
+	progs := make([]proc.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	check := func() error {
+		var remaining float64
+		for i := 0; i < np; i++ {
+			remaining += unshot[i] * area[i]
+			if rad[i] < 0 || math.IsNaN(rad[i]) {
+				return fmt.Errorf("radiosity: patch %d radiosity %g invalid", i, rad[i])
+			}
+		}
+		if remaining >= initialEnergy {
+			return fmt.Errorf("radiosity: unshot energy %g did not decrease from %g",
+				remaining, initialEnergy)
+		}
+		lit := 0
+		for i := 0; i < np; i++ {
+			if rad[i] > 0 {
+				lit++
+			}
+		}
+		if lit < np/2 {
+			return fmt.Errorf("radiosity: only %d/%d patches lit", lit, np)
+		}
+		return nil
+	}
+	return &Instance{Name: "radiosity", Progs: progs, Check: check}, nil
+}

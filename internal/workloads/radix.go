@@ -1,0 +1,173 @@
+package workloads
+
+import (
+	"fmt"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+	"numachine/internal/sim"
+)
+
+func init() { register("radix", buildRadix) }
+
+// buildRadix implements the SPLASH-2 Radix kernel: an iterative parallel
+// radix sort. Each digit phase builds per-processor histograms, combines
+// them with a logarithmic prefix tree (as in SPLASH-2), and permutes the
+// keys into a destination array — the communication-heavy all-to-all
+// phase. The paper ran 262144 keys with radix 1024; the default here is
+// 8192 keys with radix 64, scaled down for single-host simulation.
+func buildRadix(m *core.Machine, nprocs, size int) (*Instance, error) {
+	n := size
+	if n <= 0 {
+		n = 8192
+	}
+	const (
+		radix     = 64
+		digitBits = 6
+		phases    = 4 // sorts 24 bits; keys are masked accordingly
+	)
+	const keyMask = 1<<(digitBits*phases) - 1
+
+	rng := sim.NewRNG(0xBADC0FFEE)
+	src := make([]uint32, n)
+	for i := range src {
+		src[i] = uint32(rng.Uint64()) & keyMask
+	}
+	orig := append([]uint32(nil), src...)
+	dst := make([]uint32, n)
+
+	// levels[l][j] is the histogram of procs [j*2^l, (j+1)*2^l); level 0
+	// holds the per-processor histograms. Host values plus simulated
+	// regions of the same shape.
+	nlevels := 1
+	for 1<<uint(nlevels-1) < nprocs {
+		nlevels++
+	}
+	hostTree := make([][][]int, nlevels)
+	simTree := make([]region, nlevels)
+	for l := 0; l < nlevels; l++ {
+		rows := (nprocs + (1 << uint(l)) - 1) >> uint(l)
+		hostTree[l] = make([][]int, rows)
+		for j := range hostTree[l] {
+			hostTree[l][j] = make([]int, radix)
+		}
+		simTree[l] = newArray(m, rows*radix)
+	}
+	digitBase := make([]int, radix)
+	simDigitBase := newArray(m, radix)
+
+	simA := newArray(m, n)
+	simB := newArray(m, n)
+
+	prog := func(c *proc.Ctx) {
+		id := c.ID
+		lo, hi := blockRange(n, nprocs, id)
+		from, to := src, dst
+		simFrom, simTo := simA, simB
+		rank := make([]int, radix)
+		for ph := 0; ph < phases; ph++ {
+			shift := uint(ph * digitBits)
+			// Local histogram over this processor's block of keys.
+			h := hostTree[0][id]
+			for d := range h {
+				h[d] = 0
+			}
+			for i := lo; i < hi; i++ {
+				simFrom.read(c, i)
+				h[(from[i]>>shift)&(radix-1)]++
+				c.Compute(2)
+			}
+			simTree[0].writeRange(c, id*radix, (id+1)*radix)
+			c.Barrier()
+			// Up-sweep: combine histograms pairwise up the tree.
+			for l := 0; l+1 < nlevels; l++ {
+				stride := 1 << uint(l+1)
+				if id%stride == 0 {
+					j := id >> uint(l)
+					sum := hostTree[l+1][j>>1]
+					copy(sum, hostTree[l][j])
+					simTree[l].readRange(c, j*radix, (j+1)*radix)
+					if j+1 < len(hostTree[l]) {
+						simTree[l].readRange(c, (j+1)*radix, (j+2)*radix)
+						for d, v := range hostTree[l][j+1] {
+							sum[d] += v
+						}
+					}
+					simTree[l+1].writeRange(c, (j>>1)*radix, (j>>1+1)*radix)
+					c.Compute(int64(radix))
+				}
+				c.Barrier()
+			}
+			// Processor 0 turns the root histogram into digit base offsets.
+			if id == 0 {
+				root := hostTree[nlevels-1][0]
+				simTree[nlevels-1].readRange(c, 0, radix)
+				base := 0
+				for d := 0; d < radix; d++ {
+					digitBase[d] = base
+					base += root[d]
+				}
+				simDigitBase.writeRange(c, 0, radix)
+				c.Compute(int64(radix))
+			}
+			c.Barrier()
+			// Each processor derives its rank row from the digit bases
+			// plus the tree nodes covering processors before it: the
+			// left-sibling subtrees on its root-to-leaf path (log P reads).
+			simDigitBase.readRange(c, 0, radix)
+			copy(rank, digitBase)
+			for l := 0; l < nlevels; l++ {
+				if id&(1<<uint(l)) != 0 {
+					j := (id >> uint(l)) &^ 1
+					simTree[l].readRange(c, j*radix, (j+1)*radix)
+					for d, v := range hostTree[l][j] {
+						rank[d] += v
+					}
+					c.Compute(int64(radix))
+				}
+			}
+			// Permute keys to their destinations (all-to-all traffic).
+			for i := lo; i < hi; i++ {
+				simFrom.read(c, i)
+				d := (from[i] >> shift) & (radix - 1)
+				pos := rank[d]
+				rank[d]++
+				to[pos] = from[i]
+				simTo.write(c, pos)
+				c.Compute(2)
+			}
+			c.Barrier()
+			from, to = to, from
+			simFrom, simTo = simTo, simFrom
+		}
+	}
+
+	progs := make([]proc.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	final := src
+	if phases%2 == 1 {
+		final = dst
+	}
+	check := func() error {
+		for i := 1; i < n; i++ {
+			if final[i-1] > final[i] {
+				return fmt.Errorf("radix: keys %d and %d out of order (%d > %d)",
+					i-1, i, final[i-1], final[i])
+			}
+		}
+		seen := map[uint32]int{}
+		for _, k := range orig {
+			seen[k]++
+		}
+		for _, k := range final {
+			seen[k]--
+			if seen[k] < 0 {
+				return fmt.Errorf("radix: output is not a permutation of the input (extra key %d)", k)
+			}
+		}
+		return nil
+	}
+	return &Instance{Name: "radix", Progs: progs, Check: check}, nil
+}

@@ -1,0 +1,213 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+)
+
+func init() { register("raytrace", buildRaytrace) }
+
+// sphere is one scene primitive.
+type sphere struct {
+	center vec3
+	r      float64
+	shade  float64
+}
+
+// buildRaytrace implements the SPLASH-2 Raytrace application's structure:
+// pixels are claimed dynamically from a shared work counter (atomic
+// fetch-and-add, exercising hot-spot combining at the NC), each ray is
+// intersected against the read-shared scene database, and hits spawn one
+// shadow ray. The paper rendered the teapot geometry, which is not
+// redistributable; the scene here is a procedural sphere flake of similar
+// object count (documented substitution in DESIGN.md). Default image is
+// 32×32 over 33 spheres.
+func buildRaytrace(m *core.Machine, nprocs, size int) (*Instance, error) {
+	w := size
+	if w <= 0 {
+		w = 32
+	}
+	h := w
+
+	// Procedural scene: one big sphere with a ring of children, and a
+	// ground plane approximated by a huge sphere.
+	var scene []sphere
+	scene = append(scene, sphere{vec3{0, 0, 4}, 1.0, 0.9})
+	for i := 0; i < 30; i++ {
+		a := 2 * math.Pi * float64(i) / 30
+		scene = append(scene, sphere{
+			vec3{1.6 * math.Cos(a), 1.6 * math.Sin(a), 4 + 0.4*math.Sin(3*a)},
+			0.25, 0.3 + 0.02*float64(i),
+		})
+	}
+	scene = append(scene, sphere{vec3{0, -1001.5, 4}, 1000, 0.5})
+	ns := len(scene)
+	light := vec3{5, 5, -2}
+
+	lineSz := m.Params().LineSize
+	simScene := newRegion(m, ns, lineSz) // one line per primitive
+	simImage := newRegion(m, w*h, 8)
+	work := m.AllocLines(1) // shared tile counter
+
+	img := make([]float64, w*h)
+
+	intersect := func(o, d vec3, s sphere) (float64, bool) {
+		oc := o.sub(s.center)
+		b := oc.x*d.x + oc.y*d.y + oc.z*d.z
+		cq := oc.norm2() - s.r*s.r
+		disc := b*b - cq
+		if disc < 0 {
+			return 0, false
+		}
+		t := -b - math.Sqrt(disc)
+		if t < 1e-6 {
+			return 0, false
+		}
+		return t, true
+	}
+
+	// trace returns the pixel intensity, mirroring one read per primitive
+	// per intersection pass.
+	trace := func(c *proc.Ctx, o, d vec3) float64 {
+		best, bestT := -1, math.Inf(1)
+		for si := 0; si < ns; si++ {
+			simScene.read(c, si)
+			if t, ok := intersect(o, d, scene[si]); ok && t < bestT {
+				best, bestT = si, t
+			}
+			c.Compute(45) // quadratic + sqrt
+		}
+		if best < 0 {
+			return 0
+		}
+		hit := o.add(d.scale(bestT))
+		nrm := hit.sub(scene[best].center).scale(1 / scene[best].r)
+		ldir := light.sub(hit)
+		ll := math.Sqrt(ldir.norm2())
+		ldir = ldir.scale(1 / ll)
+		lambert := nrm.x*ldir.x + nrm.y*ldir.y + nrm.z*ldir.z
+		if lambert < 0 {
+			lambert = 0
+		}
+		// Shadow ray.
+		shadow := 1.0
+		for si := 0; si < ns; si++ {
+			simScene.read(c, si)
+			if t, ok := intersect(hit.add(nrm.scale(1e-4)), ldir, scene[si]); ok && t < ll {
+				shadow = 0.2
+				break
+			}
+			c.Compute(45)
+		}
+		return scene[best].shade * (0.1 + 0.9*lambert*shadow)
+	}
+
+	const tile = 4 // pixels claimed per counter increment
+	prog := func(c *proc.Ctx) {
+		for {
+			start := int(c.FetchAdd(work, tile))
+			if start >= w*h {
+				break
+			}
+			for p := start; p < start+tile && p < w*h; p++ {
+				x, y := p%w, p/w
+				d := vec3{
+					(float64(x) + 0.5 - float64(w)/2) / float64(w),
+					(float64(y) + 0.5 - float64(h)/2) / float64(h),
+					1,
+				}
+				il := 1 / math.Sqrt(d.norm2())
+				d = d.scale(il)
+				img[p] = trace(c, vec3{}, d)
+				simImage.write(c, p)
+				c.Compute(80) // shading: normalize, dot products
+			}
+		}
+		c.Barrier()
+	}
+
+	progs := make([]proc.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	check := func() error {
+		// The render must be deterministic and must actually hit geometry.
+		hits := 0
+		var sum float64
+		for _, v := range img {
+			if v > 0 {
+				hits++
+			}
+			sum += v
+		}
+		if hits < w*h/10 {
+			return fmt.Errorf("raytrace: only %d/%d pixels hit geometry", hits, w*h)
+		}
+		if math.IsNaN(sum) {
+			return fmt.Errorf("raytrace: image contains NaN")
+		}
+		// Cross-check a scanline against a serial host render.
+		for x := 0; x < w; x++ {
+			p := (h/2)*w + x
+			d := vec3{
+				(float64(x) + 0.5 - float64(w)/2) / float64(w),
+				(float64(h/2) + 0.5 - float64(h)/2) / float64(h),
+				1,
+			}
+			d = d.scale(1 / math.Sqrt(d.norm2()))
+			want := hostTrace(scene, light, vec3{}, d)
+			if math.Abs(img[p]-want) > 1e-9 {
+				return fmt.Errorf("raytrace: pixel (%d,%d) = %g, want %g", x, h/2, img[p], want)
+			}
+		}
+		return nil
+	}
+	return &Instance{Name: "raytrace", Progs: progs, Check: check}, nil
+}
+
+// hostTrace is the serial reference renderer (same math, no simulation).
+func hostTrace(scene []sphere, light, o, d vec3) float64 {
+	intersect := func(o, d vec3, s sphere) (float64, bool) {
+		oc := o.sub(s.center)
+		b := oc.x*d.x + oc.y*d.y + oc.z*d.z
+		cq := oc.norm2() - s.r*s.r
+		disc := b*b - cq
+		if disc < 0 {
+			return 0, false
+		}
+		t := -b - math.Sqrt(disc)
+		if t < 1e-6 {
+			return 0, false
+		}
+		return t, true
+	}
+	best, bestT := -1, math.Inf(1)
+	for si := range scene {
+		if t, ok := intersect(o, d, scene[si]); ok && t < bestT {
+			best, bestT = si, t
+		}
+	}
+	if best < 0 {
+		return 0
+	}
+	hit := o.add(d.scale(bestT))
+	nrm := hit.sub(scene[best].center).scale(1 / scene[best].r)
+	ldir := light.sub(hit)
+	ll := math.Sqrt(ldir.norm2())
+	ldir = ldir.scale(1 / ll)
+	lambert := nrm.x*ldir.x + nrm.y*ldir.y + nrm.z*ldir.z
+	if lambert < 0 {
+		lambert = 0
+	}
+	shadow := 1.0
+	for si := range scene {
+		if t, ok := intersect(hit.add(nrm.scale(1e-4)), ldir, scene[si]); ok && t < ll {
+			shadow = 0.2
+			break
+		}
+	}
+	return scene[best].shade * (0.1 + 0.9*lambert*shadow)
+}

@@ -1,0 +1,287 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+	"numachine/internal/sim"
+)
+
+func init() {
+	register("water-nsq", func(m *core.Machine, nprocs, size int) (*Instance, error) {
+		return buildWater(m, nprocs, size, false)
+	})
+	register("water-spatial", func(m *core.Machine, nprocs, size int) (*Instance, error) {
+		return buildWater(m, nprocs, size, true)
+	})
+}
+
+// vec3 is a host 3-vector.
+type vec3 struct{ x, y, z float64 }
+
+func (a vec3) add(b vec3) vec3      { return vec3{a.x + b.x, a.y + b.y, a.z + b.z} }
+func (a vec3) sub(b vec3) vec3      { return vec3{a.x - b.x, a.y - b.y, a.z - b.z} }
+func (a vec3) scale(s float64) vec3 { return vec3{a.x * s, a.y * s, a.z * s} }
+func (a vec3) norm2() float64       { return a.x*a.x + a.y*a.y + a.z*a.z }
+
+// buildWater implements the SPLASH-2 Water applications: a short
+// molecular dynamics run over n molecules interacting through a truncated
+// Lennard-Jones potential. The N² variant evaluates each pair once using
+// the SPLASH half-window partitioning, accumulating partner forces under
+// per-molecule locks; the spatial variant bins molecules into a 3D cell
+// grid and only evaluates neighbour cells. The paper ran 512 molecules
+// for 3 steps; the default here is 64 molecules for 2 steps.
+func buildWater(m *core.Machine, nprocs, size int, spatial bool) (*Instance, error) {
+	n := size
+	if n <= 0 {
+		n = 64
+	}
+	if n%2 != 0 {
+		return nil, fmt.Errorf("water: molecule count %d must be even", n)
+	}
+	const steps = 2
+	box := 10.0
+	// Cell grid scales with the molecule count (>= 3 per dimension); the
+	// cutoff matches the cell size so neighbour-cell interaction is exact.
+	gridCells := 3
+	for spatial && gridCells < 6 && (gridCells+1)*(gridCells+1)*(gridCells+1) <= n/4 {
+		gridCells++
+	}
+	cutoff := box / float64(gridCells)
+
+	rng := sim.NewRNG(0x3A7E4)
+	pos := make([]vec3, n)
+	vel := make([]vec3, n)
+	force := make([]vec3, n)
+	for i := range pos {
+		pos[i] = vec3{rng.Float64() * box, rng.Float64() * box, rng.Float64() * box}
+		vel[i] = vec3{rng.Float64() - 0.5, rng.Float64() - 0.5, rng.Float64() - 0.5}
+	}
+
+	// Simulated layout: one line per molecule for positions and forces
+	// (SPLASH pads records similarly to limit false sharing), plus one
+	// lock line per molecule.
+	lineSz := m.Params().LineSize
+	simPos := newRegion(m, n, lineSz)
+	simForce := newRegion(m, n, lineSz)
+	locks := newRegion(m, n, lineSz)
+
+	// ljForce returns the pair force on i due to j (host math) under a
+	// minimum-image convention.
+	ljForce := func(i, j int) (vec3, bool) {
+		d := pos[i].sub(pos[j])
+		d.x -= box * math.Round(d.x/box)
+		d.y -= box * math.Round(d.y/box)
+		d.z -= box * math.Round(d.z/box)
+		r2 := d.norm2()
+		if r2 > cutoff*cutoff || r2 == 0 {
+			return vec3{}, false
+		}
+		ir2 := 1 / r2
+		ir6 := ir2 * ir2 * ir2
+		f := 24 * ir2 * ir6 * (2*ir6 - 1)
+		return d.scale(f), true
+	}
+
+	var maxNetForce, maxForce float64
+
+	// accumulate adds f to molecule j's force under its lock, mirroring
+	// the SPLASH per-molecule lock discipline.
+	accumulate := func(c *proc.Ctx, j int, f vec3) {
+		c.AcquireLock(locks.addr(j))
+		simForce.read(c, j)
+		force[j] = force[j].add(f)
+		simForce.write(c, j)
+		c.ReleaseLock(locks.addr(j))
+		c.Compute(3)
+	}
+
+	// pairInteraction evaluates pair (i, j), adding +f to i locally-owned
+	// accumulation and -f to j under lock.
+	pairInteraction := func(c *proc.Ctx, own []vec3, i, j int) {
+		simPos.read(c, i)
+		simPos.read(c, j)
+		f, ok := ljForce(i, j)
+		c.Compute(90) // LJ pair: r2, reciprocal, powers (R4400 FP latencies)
+		if !ok {
+			return
+		}
+		own[i] = own[i].add(f)
+		accumulate(c, j, f.scale(-1))
+	}
+
+	// Spatial decomposition state (rebuilt each step by processor 0).
+	cells := 1
+	if spatial {
+		cells = gridCells
+	}
+	cellOf := func(p vec3) int {
+		cx := int(p.x / box * float64(cells))
+		cy := int(p.y / box * float64(cells))
+		cz := int(p.z / box * float64(cells))
+		clamp := func(v int) int {
+			if v < 0 {
+				return 0
+			}
+			if v >= cells {
+				return cells - 1
+			}
+			return v
+		}
+		return (clamp(cx)*cells+clamp(cy))*cells + clamp(cz)
+	}
+	cellLists := make([][]int, cells*cells*cells)
+	simCells := newRegion(m, cells*cells*cells, lineSz)
+
+	prog := func(c *proc.Ctx) {
+		id := c.ID
+		lo, hi := blockRange(n, nprocs, id)
+		own := make([]vec3, n)
+		for step := 0; step < steps; step++ {
+			// Zero forces for owned molecules.
+			for i := lo; i < hi; i++ {
+				force[i] = vec3{}
+				simForce.write(c, i)
+			}
+			for i := range own {
+				own[i] = vec3{}
+			}
+			if spatial && id == 0 {
+				// Rebin molecules into cells (processor 0, as in the
+				// paper's description of locality-managing system phases).
+				for ci := range cellLists {
+					cellLists[ci] = cellLists[ci][:0]
+				}
+				for i := 0; i < n; i++ {
+					simPos.read(c, i)
+					ci := cellOf(pos[i])
+					cellLists[ci] = append(cellLists[ci], i)
+					c.Compute(2)
+				}
+				for ci := range cellLists {
+					simCells.write(c, ci)
+				}
+			}
+			c.Barrier()
+			if !spatial {
+				// SPLASH N² half-window: molecule i interacts with the
+				// next n/2 molecules (wrapping), each pair counted once.
+				for i := lo; i < hi; i++ {
+					for k := 1; k <= n/2; k++ {
+						j := (i + k) % n
+						if n%2 == 0 && k == n/2 && i >= n/2 {
+							continue // avoid double-counting opposite pairs
+						}
+						pairInteraction(c, own, i, j)
+					}
+				}
+			} else {
+				// Spatial: processors own contiguous cell ranges; evaluate
+				// pairs within the cell and with half the neighbour cells.
+				nc := cells * cells * cells
+				clo, chi := blockRange(nc, nprocs, id)
+				for ci := clo; ci < chi; ci++ {
+					simCells.read(c, ci)
+					list := cellLists[ci]
+					for a := 0; a < len(list); a++ {
+						for b := a + 1; b < len(list); b++ {
+							pairInteraction(c, own, list[a], list[b])
+						}
+					}
+					cx, cy, cz := ci/(cells*cells), (ci/cells)%cells, ci%cells
+					for _, d := range halfNeighbours {
+						nx, ny, nz := (cx+d[0]+cells)%cells, (cy+d[1]+cells)%cells, (cz+d[2]+cells)%cells
+						nci := (nx*cells+ny)*cells + nz
+						if nci == ci {
+							continue
+						}
+						simCells.read(c, nci)
+						for _, a := range list {
+							for _, b := range cellLists[nci] {
+								pairInteraction(c, own, a, b)
+							}
+						}
+					}
+				}
+			}
+			// Fold locally accumulated forces into the shared arrays.
+			for i := 0; i < n; i++ {
+				if own[i] != (vec3{}) {
+					accumulate(c, i, own[i])
+				}
+			}
+			c.Barrier()
+			// Integrate owned molecules.
+			for i := lo; i < hi; i++ {
+				simForce.read(c, i)
+				const dt = 1e-4
+				vel[i] = vel[i].add(force[i].scale(dt))
+				pos[i] = pos[i].add(vel[i].scale(dt))
+				pos[i].x = wrap(pos[i].x, box)
+				pos[i].y = wrap(pos[i].y, box)
+				pos[i].z = wrap(pos[i].z, box)
+				simPos.write(c, i)
+				c.Compute(9)
+			}
+			if id == 0 {
+				// Newton's third law: the net force must vanish relative to
+				// the individual force magnitudes (close pairs make the
+				// absolute values enormous).
+				var net vec3
+				for i := 0; i < n; i++ {
+					net = net.add(force[i])
+					if f := math.Sqrt(force[i].norm2()); f > maxForce {
+						maxForce = f
+					}
+				}
+				if f := math.Sqrt(net.norm2()); f > maxNetForce {
+					maxNetForce = f
+				}
+			}
+			c.Barrier()
+		}
+	}
+
+	progs := make([]proc.Program, nprocs)
+	for i := range progs {
+		progs[i] = prog
+	}
+	name := "water-nsq"
+	if spatial {
+		name = "water-spatial"
+	}
+	check := func() error {
+		if maxForce > 0 && maxNetForce/maxForce > 1e-9 {
+			return fmt.Errorf("%s: net force %g (max pair force %g) violates Newton's third law",
+				name, maxNetForce, maxForce)
+		}
+		for i := range pos {
+			if math.IsNaN(pos[i].x + pos[i].y + pos[i].z) {
+				return fmt.Errorf("%s: molecule %d position is NaN", name, i)
+			}
+		}
+		return nil
+	}
+	return &Instance{Name: name, Progs: progs, Check: check}, nil
+}
+
+// halfNeighbours lists 13 of the 26 neighbour offsets so every cell pair
+// is evaluated exactly once.
+var halfNeighbours = [][3]int{
+	{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+	{1, 1, 0}, {1, -1, 0}, {1, 0, 1}, {1, 0, -1},
+	{0, 1, 1}, {0, 1, -1},
+	{1, 1, 1}, {1, 1, -1}, {1, -1, 1}, {1, -1, -1},
+}
+
+func wrap(v, box float64) float64 {
+	for v < 0 {
+		v += box
+	}
+	for v >= box {
+		v -= box
+	}
+	return v
+}
