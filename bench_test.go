@@ -216,3 +216,44 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.ReportMetric(float64(cycles), "sim_cycles")
 	}
 }
+
+// BenchmarkCycleLoop compares the naive tick-everything loop against the
+// event-aware quiescence scheduler on the same workloads. Both produce
+// bit-identical results (internal/core/equivalence_test.go); the scheduler
+// skips ticks of provably idle components and fast-forwards fully
+// quiescent stretches, so the ratio is the speedup of the default loop.
+func BenchmarkCycleLoop(b *testing.B) {
+	workset := []struct {
+		workload string
+		procs    int
+	}{{"ocean", 64}, {"water-nsq", 64}}
+	for _, w := range workset {
+		for _, naive := range []bool{true, false} {
+			loop := "scheduler"
+			if naive {
+				loop = "naive"
+			}
+			b.Run(w.workload+"/"+loop, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					cfg := benchConfig()
+					cfg.NaiveLoop = naive
+					m, err := core.New(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					inst, err := workloads.Build(w.workload, m, w.procs, benchSizes[w.workload])
+					if err != nil {
+						b.Fatal(err)
+					}
+					m.Load(inst.Progs)
+					cycles := m.Run()
+					if err := inst.Check(); err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(cycles), "sim_cycles")
+					b.ReportMetric(float64(m.FastForwarded.Value()), "ff_cycles")
+				}
+			})
+		}
+	}
+}

@@ -33,6 +33,7 @@ type Bus struct {
 	busyUntil int64
 	inFlight  *msg.Message
 	rr        int // round-robin arbitration pointer
+	utilAt    int64 // first cycle not yet accounted in Util
 
 	// Util reproduces the bus utilization measurement of Figure 17.
 	Util monitor.Utilization
@@ -56,10 +57,49 @@ func (b *Bus) Attach(idx int, m Module) {
 	b.outs[idx] = m.BusOut()
 }
 
+// NextWork reports the earliest cycle at or after now at which Tick can do
+// more than utilization accounting: the end of the occupying transfer, or
+// now when a completed transfer awaits delivery or a module has pending
+// output. The gate runs after the CPU phase of the cycle, so same-cycle
+// pushes into the out-queues are visible exactly as the naive Tick would
+// see them.
+func (b *Bus) NextWork(now int64) int64 {
+	if now < b.busyUntil {
+		return b.busyUntil
+	}
+	if b.inFlight != nil {
+		return now
+	}
+	for _, q := range b.outs {
+		if q != nil && !q.Empty() {
+			return now
+		}
+	}
+	return sim.Never
+}
+
+// syncUtil accounts Util for every cycle in [utilAt, limit]: a cycle t is
+// busy iff t < busyUntil, and busyUntil only moves when the bus actually
+// ticks, so the whole gap splits into one busy prefix and an idle tail.
+func (b *Bus) syncUtil(limit int64) {
+	if b.utilAt > limit {
+		return
+	}
+	b.Util.AddTotal(limit - b.utilAt + 1)
+	if busy := min(limit+1, b.busyUntil) - b.utilAt; busy > 0 {
+		b.Util.AddBusy(busy)
+	}
+	b.utilAt = limit + 1
+}
+
+// SyncStats brings the utilization counters up to date through limit
+// without advancing the bus (called before snapshotting results).
+func (b *Bus) SyncStats(limit int64) { b.syncUtil(limit) }
+
 // Tick advances the bus one cycle: finish an in-flight transfer, then
 // arbitrate among modules with pending output.
 func (b *Bus) Tick(now int64) {
-	b.Util.Tick(now < b.busyUntil)
+	b.syncUtil(now)
 	if now < b.busyUntil {
 		return
 	}

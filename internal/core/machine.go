@@ -37,6 +37,12 @@ type Config struct {
 	Params    sim.Params
 	L1Lines   int // primary-cache timing filter size (0 disables)
 	Placement Placement
+
+	// NaiveLoop disables the quiescence scheduler and ticks every component
+	// every cycle. Results are bit-identical either way (the equivalence
+	// test suite enforces it); the naive loop exists as the reference
+	// implementation and for debugging.
+	NaiveLoop bool
 }
 
 // DefaultConfig returns the 64-processor prototype configuration.
@@ -75,6 +81,20 @@ type Machine struct {
 	barrier  barrierCtl
 	Phases   *monitor.PhaseIDs
 	deadlock int64
+
+	// Quiescence scheduler (nil when Cfg.NaiveLoop): per-component ids into
+	// sched, in the same order the components are ticked.
+	sched     *sim.Scheduler
+	idCPUs    []int
+	idBuses   []int
+	idMems    []int
+	idNCs     []int
+	idRIs     []int
+	idLocals  []int
+	idCentral int
+
+	// FastForwarded counts cycles skipped by quiescence fast-forwarding.
+	FastForwarded monitor.Counter
 }
 
 // New builds a machine from cfg.
@@ -117,7 +137,37 @@ func New(cfg Config) (*Machine, error) {
 		b.Attach(g.ModRI(), m.RIs[s])
 	}
 	m.buildRings()
+	if !cfg.NaiveLoop {
+		m.buildScheduler()
+	}
 	return m, nil
+}
+
+// buildScheduler registers every ticked component with the quiescence
+// scheduler, in tick order.
+func (m *Machine) buildScheduler() {
+	m.sched = sim.NewScheduler()
+	for i := range m.CPUs {
+		m.idCPUs = append(m.idCPUs, m.sched.Register(fmt.Sprintf("cpu[%d]", i)))
+	}
+	for i := range m.Buses {
+		m.idBuses = append(m.idBuses, m.sched.Register(fmt.Sprintf("bus[%d]", i)))
+	}
+	for i := range m.Mems {
+		m.idMems = append(m.idMems, m.sched.Register(fmt.Sprintf("mem[%d]", i)))
+	}
+	for i := range m.NCs {
+		m.idNCs = append(m.idNCs, m.sched.Register(fmt.Sprintf("nc[%d]", i)))
+	}
+	for i := range m.RIs {
+		m.idRIs = append(m.idRIs, m.sched.Register(fmt.Sprintf("ri[%d]", i)))
+	}
+	for i := range m.Locals {
+		m.idLocals = append(m.idLocals, m.sched.Register(fmt.Sprintf("local-ring[%d]", i)))
+	}
+	if m.Central != nil {
+		m.idCentral = m.sched.Register("central-ring")
+	}
 }
 
 // buildRings wires the ring hierarchy: each local ring carries its
@@ -302,8 +352,20 @@ func (m *Machine) Load(progs []proc.Program) {
 
 // Step advances the machine one cycle in the fixed deterministic order:
 // processors, buses, memory modules, network caches, ring interfaces,
-// rings.
+// rings. With the quiescence scheduler enabled only components whose
+// activity gate fires are ticked; the gate runs immediately before each
+// component's slot in the same order, so it sees exactly the state the
+// naive tick would have seen, and a skipped tick is provably a stats-only
+// no-op that the lazy counters reconcile later.
 func (m *Machine) Step() {
+	if m.sched == nil {
+		m.stepNaive()
+		return
+	}
+	m.stepScheduled()
+}
+
+func (m *Machine) stepNaive() {
 	now := m.now
 	m.fireBarriers()
 	for _, c := range m.CPUs {
@@ -329,10 +391,123 @@ func (m *Machine) Step() {
 	}
 	if now&31 == 0 {
 		for _, iri := range m.IRIs {
-			iri.Observe()
+			iri.ObserveAt(now)
 		}
 	}
 	m.now++
+}
+
+// stepScheduled is the gated cycle; it returns how many components ticked
+// (0 means the whole machine was quiescent this cycle and the run loop may
+// fast-forward to the next scheduled event).
+func (m *Machine) stepScheduled() int {
+	now := m.now
+	ticked := 0
+	m.fireBarriers()
+	for _, c := range m.CPUs {
+		if c.NextWork(now) <= now {
+			c.Tick(now)
+			ticked++
+		}
+	}
+	for _, b := range m.Buses {
+		if b.NextWork(now) <= now {
+			b.Tick(now)
+			ticked++
+		}
+	}
+	for _, mem := range m.Mems {
+		if mem.NextWork(now) <= now {
+			mem.Tick(now)
+			ticked++
+		}
+	}
+	for _, nc := range m.NCs {
+		if nc.NextWork(now) <= now {
+			nc.Tick(now)
+			ticked++
+		}
+	}
+	for _, ri := range m.RIs {
+		if ri.NextWork(now) <= now {
+			ri.Tick(now)
+			ticked++
+		}
+	}
+	for _, lr := range m.Locals {
+		if lr.NextWork(now) <= now {
+			lr.Tick(now)
+			ticked++
+		}
+	}
+	if m.Central != nil {
+		if m.Central.NextWork(now) <= now {
+			m.Central.Tick(now)
+			ticked++
+		}
+	}
+	if now&31 == 0 {
+		for _, iri := range m.IRIs {
+			iri.ObserveAt(now)
+		}
+	}
+	m.now++
+	return ticked
+}
+
+// nextWake returns the earliest future cycle at which any component or
+// pending barrier release can do work (sim.Never when nothing is
+// scheduled). It is only called after a fully quiescent cycle, so the
+// NextWork polls here see exactly the state the gate pass saw — nothing
+// ticked in between — and reporting them into the scheduler's min-heap
+// off the hot path keeps the busy-cycle loop free of bookkeeping.
+func (m *Machine) nextWake() int64 {
+	now := m.now
+	for i, c := range m.CPUs {
+		m.sched.Report(m.idCPUs[i], c.NextWork(now))
+	}
+	for i, b := range m.Buses {
+		m.sched.Report(m.idBuses[i], b.NextWork(now))
+	}
+	for i, mem := range m.Mems {
+		m.sched.Report(m.idMems[i], mem.NextWork(now))
+	}
+	for i, nc := range m.NCs {
+		m.sched.Report(m.idNCs[i], nc.NextWork(now))
+	}
+	for i, ri := range m.RIs {
+		m.sched.Report(m.idRIs[i], ri.NextWork(now))
+	}
+	for i, lr := range m.Locals {
+		m.sched.Report(m.idLocals[i], lr.NextWork(now))
+	}
+	if m.Central != nil {
+		m.sched.Report(m.idCentral, m.Central.NextWork(now))
+	}
+	wake := m.sched.NextEvent()
+	for _, r := range m.barrier.releases {
+		if r.at < wake {
+			wake = r.at
+		}
+	}
+	return wake
+}
+
+// step advances one cycle and, when the machine proved quiescent, jumps
+// m.now to the next scheduled event. The jump is exact: no component
+// ticked, so no state can change until the earliest reported wake-up, and
+// every per-cycle statistic is reconciled lazily.
+func (m *Machine) step() {
+	if m.sched == nil {
+		m.stepNaive()
+		return
+	}
+	if m.stepScheduled() == 0 {
+		if wake := m.nextWake(); wake > m.now && wake != sim.Never {
+			m.FastForwarded.Add(wake - m.now)
+			m.now = wake
+		}
+	}
 }
 
 // Run executes until every loaded program finishes, returning the cycle
@@ -350,7 +525,7 @@ func (m *Machine) Run() int64 {
 	}
 	lastRefs, lastAt := int64(-1), m.now
 	for active() {
-		m.Step()
+		m.step()
 		if m.p.DeadlockCycles > 0 && m.now-lastAt >= m.p.DeadlockCycles {
 			refs := m.totalRefs()
 			if refs == lastRefs {
@@ -367,7 +542,6 @@ func (m *Machine) Run() int64 {
 		}
 	}
 	m.Drain()
-	_ = start
 	return end - start
 }
 
@@ -376,10 +550,45 @@ func (m *Machine) Run() int64 {
 func (m *Machine) Drain() {
 	limit := m.now + 10_000_000
 	for !m.Quiesced() {
-		m.Step()
+		m.step()
 		if m.now > limit {
 			panic("core: machine failed to drain\n" + m.dumpState())
 		}
+	}
+}
+
+// SyncStats reconciles every lazily-accounted statistic (stall counters,
+// utilization, queue-occupancy sampling) through the last completed cycle.
+// Idempotent; a no-op on the naive loop. Results() calls it before
+// snapshotting.
+func (m *Machine) SyncStats() {
+	limit := m.now - 1
+	if limit < 0 {
+		return
+	}
+	for _, c := range m.CPUs {
+		c.SyncStats(limit)
+	}
+	for _, b := range m.Buses {
+		b.SyncStats(limit)
+	}
+	for _, mem := range m.Mems {
+		mem.SyncStats(limit)
+	}
+	for _, nc := range m.NCs {
+		nc.SyncStats(limit)
+	}
+	for _, ri := range m.RIs {
+		ri.SyncStats(limit)
+	}
+	for _, iri := range m.IRIs {
+		iri.SyncStats(limit)
+	}
+	for _, lr := range m.Locals {
+		lr.SyncStats(limit)
+	}
+	if m.Central != nil {
+		m.Central.SyncStats(limit)
 	}
 }
 
@@ -438,19 +647,24 @@ func (m *Machine) dumpState() string {
 	s := ""
 	for i, mem := range m.Mems {
 		if locks := mem.PendingLocks(); locks > 0 || !mem.Idle() {
-			s += fmt.Sprintf("mem[%d]: locks=%d idle=%v\n", i, locks, mem.Idle())
+			qs := mem.InQStats()
+			s += fmt.Sprintf("mem[%d]: locks=%d idle=%v inQ depth=%d (enq=%d mean=%.2f max=%d)\n",
+				i, locks, mem.Idle(), mem.InQDepth(), qs.Enqueued, qs.MeanDepth, qs.MaxDepth)
 		}
 	}
 	for i, nc := range m.NCs {
 		if !nc.Idle() {
-			s += fmt.Sprintf("nc[%d]: busy\n", i)
+			qs := nc.InQStats()
+			s += fmt.Sprintf("nc[%d]: busy inQ depth=%d (enq=%d mean=%.2f max=%d)\n",
+				i, nc.InQDepth(), qs.Enqueued, qs.MeanDepth, qs.MaxDepth)
 		}
 	}
 	for i, ri := range m.RIs {
 		if !ri.Idle() {
 			sk, nsk, in := ri.QueueStats()
-			s += fmt.Sprintf("ri[%d]: not idle (sink enq=%d nonsink enq=%d in enq=%d) credits=%d\n",
-				i, sk.Enqueued, nsk.Enqueued, in.Enqueued, m.credits.InFlight(i))
+			s += fmt.Sprintf("ri[%d]: not idle (sink enq=%d maxdepth=%d, nonsink enq=%d maxdepth=%d, in enq=%d depth=%d maxdepth=%d) credits=%d\n",
+				i, sk.Enqueued, sk.MaxDepth, nsk.Enqueued, nsk.MaxDepth,
+				in.Enqueued, ri.InFIFODepth(), in.MaxDepth, m.credits.InFlight(i))
 		}
 	}
 	for i, lr := range m.Locals {

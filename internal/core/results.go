@@ -109,8 +109,11 @@ type ProcResults struct {
 	BarrierCycles  int64
 }
 
-// Results snapshots the machine's monitors.
+// Results snapshots the machine's monitors, reconciling every lazily
+// accounted statistic first so the snapshot is identical whichever cycle
+// loop produced it.
 func (m *Machine) Results() Results {
+	m.SyncStats()
 	r := Results{Cycles: m.now}
 	for _, b := range m.Buses {
 		r.BusUtil += b.Util.Value()

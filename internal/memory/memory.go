@@ -142,7 +142,7 @@ type Module struct {
 
 // New builds the memory module for a station.
 func New(g topo.Geometry, p sim.Params, station int) *Module {
-	return &Module{
+	m := &Module{
 		Station: station,
 		g:       g,
 		p:       p,
@@ -151,6 +151,11 @@ func New(g topo.Geometry, p sim.Params, station int) *Module {
 		outQ:    sim.NewQueue[*msg.Message](0),
 		Stats:   Stats{Hist: monitor.NewTable(fmt.Sprintf("memory[%d] coherence histogram", station), HistRows, HistCols)},
 	}
+	// The input queue is observed every 32 cycles at the top of Tick, after
+	// the same-cycle bus deliveries (the bus phase precedes the memory
+	// phase), hence prePush=false.
+	m.inQ.MonitorEvery(32, false)
+	return m
 }
 
 // BusOut implements bus.Module.
@@ -173,13 +178,36 @@ func (m *Module) PendingLocks() int {
 	return n
 }
 
+// NextWork reports the earliest cycle at or after now at which Tick can do
+// more than occupancy sampling: the end of the current directory/DRAM
+// access when a message is staged, or now when input is queued. The gate
+// runs after the bus phase of the cycle, so same-cycle deliveries are
+// visible exactly as the naive Tick would see them.
+func (m *Module) NextWork(now int64) int64 {
+	if m.staged != nil || !m.inQ.Empty() {
+		if now < m.busy {
+			return m.busy
+		}
+		return now
+	}
+	return sim.Never
+}
+
+// SyncStats brings the input-queue occupancy sampling up to date through
+// limit (called before snapshotting results).
+func (m *Module) SyncStats(limit int64) { m.inQ.SyncObsTo(limit) }
+
+// InQStats exposes the input-queue statistics (diagnostics).
+func (m *Module) InQStats() sim.QueueStats { return m.inQ.Stats() }
+
+// InQDepth returns the current input-queue depth (diagnostics).
+func (m *Module) InQDepth() int { return m.inQ.Len() }
+
 // Tick processes the input queue: a dequeued message occupies the
 // controller for its directory (and, when data moves, DRAM) access time
 // and takes effect when that time has elapsed.
 func (m *Module) Tick(now int64) {
-	if now&31 == 0 {
-		m.inQ.Observe()
-	}
+	m.inQ.ObserveAt(now)
 	if now < m.busy {
 		return
 	}

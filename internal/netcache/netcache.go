@@ -154,7 +154,7 @@ type Module struct {
 
 // New builds the network cache for a station.
 func New(g topo.Geometry, p sim.Params, station int) *Module {
-	return &Module{
+	n := &Module{
 		Station:  station,
 		g:        g,
 		p:        p,
@@ -164,6 +164,10 @@ func New(g topo.Geometry, p sim.Params, station int) *Module {
 		outQ:     sim.NewQueue[*msg.Message](0),
 		Stats:    Stats{Hist: monitor.NewTable(fmt.Sprintf("netcache[%d] coherence histogram", station), HistRows, HistCols)},
 	}
+	// Observed at the top of Tick, after same-cycle bus deliveries (the bus
+	// phase precedes the NC phase), hence prePush=false.
+	n.inQ.MonitorEvery(32, false)
+	return n
 }
 
 // BusOut implements bus.Module.
@@ -231,12 +235,49 @@ func (n *Module) recordHist(t msg.Type, e *entry) {
 	n.Stats.Hist.Add(r, c)
 }
 
+// NextWork reports the earliest cycle at or after now at which Tick can do
+// more than occupancy sampling: the earliest scheduled NAK retry, the end
+// of the current SRAM/DRAM access when a message is staged, or now when
+// input is queued. A stale retryLines entry (its transaction already
+// completed) forces now so Tick prunes it exactly when the naive loop
+// would, keeping Idle() and drain semantics identical.
+func (n *Module) NextWork(now int64) int64 {
+	wake := sim.Never
+	for _, line := range n.retryLines {
+		e := n.lookup(line)
+		if e == nil || !e.locked || e.txn == nil || e.txn.retryAt == 0 {
+			return now // stale entry: fireRetries must drop it this cycle
+		}
+		if e.txn.retryAt < wake {
+			wake = e.txn.retryAt
+		}
+	}
+	if n.staged != nil || !n.inQ.Empty() {
+		if now < n.busy {
+			if n.busy < wake {
+				wake = n.busy
+			}
+		} else {
+			return now
+		}
+	}
+	return wake
+}
+
+// SyncStats brings the input-queue occupancy sampling up to date through
+// limit (called before snapshotting results).
+func (n *Module) SyncStats(limit int64) { n.inQ.SyncObsTo(limit) }
+
+// InQStats exposes the input-queue statistics (diagnostics).
+func (n *Module) InQStats() sim.QueueStats { return n.inQ.Stats() }
+
+// InQDepth returns the current input-queue depth (diagnostics).
+func (n *Module) InQDepth() int { return n.inQ.Len() }
+
 // Tick processes the input queue (a message takes effect after its
 // SRAM/DRAM access time) and fires due retries.
 func (n *Module) Tick(now int64) {
-	if now&31 == 0 {
-		n.inQ.Observe()
-	}
+	n.inQ.ObserveAt(now)
 	n.fireRetries(now)
 	if now < n.busy {
 		return

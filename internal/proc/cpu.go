@@ -58,6 +58,7 @@ type CPU struct {
 	retryAt    int64
 	lastResult uint64
 	finishAt   int64 // completion timestamp of the parallel section
+	statsAt    int64 // first cycle whose stall/barrier counters are unaccounted
 
 	// The single outstanding reference.
 	cur     Ref
@@ -131,8 +132,49 @@ func (c *CPU) BusOut() *sim.Queue[*msg.Message] { return c.outQ }
 
 func (c *CPU) align(addr uint64) uint64 { return addr &^ (uint64(c.p.LineSize) - 1) }
 
+// NextWork reports the earliest cycle at or after now at which Tick can do
+// anything beyond per-cycle stall accounting: the end of the current
+// compute burst, the scheduled NAK retry, or sim.Never while the CPU can
+// only be revived by a bus delivery or barrier release. The cycle loop
+// uses it to skip quiescent ticks; syncStats reconciles the counters the
+// skipped ticks would have incremented.
+func (c *CPU) NextWork(now int64) int64 {
+	switch c.st {
+	case sThink:
+		return c.thinkUntil
+	case sWaitRetry:
+		return c.retryAt
+	default: // sWaitMem, sWaitInterrupt, sWaitBarrier, sDone
+		return sim.Never
+	}
+}
+
+// syncStats accounts the per-cycle stall/barrier counters for every cycle
+// in [statsAt, limit]. The CPU's state is constant over any skipped
+// stretch (that is what made the ticks skippable), so the whole gap is
+// charged to the current state.
+func (c *CPU) syncStats(limit int64) {
+	if c.statsAt > limit {
+		return
+	}
+	d := limit - c.statsAt + 1
+	switch c.st {
+	case sWaitMem, sWaitInterrupt, sWaitRetry:
+		c.Stats.StallCycles.Add(d)
+	case sWaitBarrier:
+		c.Stats.BarrierCycles.Add(d)
+	}
+	c.statsAt = limit + 1
+}
+
+// SyncStats brings the stall/barrier counters up to date through limit
+// without advancing the CPU (called before snapshotting results).
+func (c *CPU) SyncStats(limit int64) { c.syncStats(limit) }
+
 // Tick advances the CPU one cycle.
 func (c *CPU) Tick(now int64) {
+	c.syncStats(now - 1)
+	c.statsAt = now + 1
 	switch c.st {
 	case sDone:
 		return
@@ -370,10 +412,14 @@ func (c *CPU) complete(now int64) {
 }
 
 // FinishBarrier releases the CPU from a barrier at the given cycle.
+// Barriers fire before the CPU phase of the cycle, so the naive loop never
+// charges a barrier cycle at now for a CPU released at now: account only
+// through now-1 before the state changes.
 func (c *CPU) FinishBarrier(now int64) {
 	if c.st != sWaitBarrier {
 		panic("proc: FinishBarrier on a CPU not at a barrier")
 	}
+	c.syncStats(now - 1)
 	c.lastResult = 0
 	c.st = sThink
 	c.thinkUntil = now
@@ -381,7 +427,12 @@ func (c *CPU) FinishBarrier(now int64) {
 
 // BusDeliver implements bus.Module: responses, invalidations and
 // interventions arriving from the station bus.
+//
+// The bus phase follows the CPU phase within a cycle, so the naive loop
+// would already have ticked (and stall-charged) this CPU at now before the
+// delivery: account through now inclusive before mutating state.
 func (c *CPU) BusDeliver(m *msg.Message, now int64) {
+	c.syncStats(now)
 	if c.p.TraceLine != 0 && m.Line == c.p.TraceLine {
 		l2 := "miss"
 		if l := c.l2.Probe(m.Line); l != nil {

@@ -27,12 +27,17 @@ type IRI struct {
 
 // NewIRI builds the interface for local ring ringID.
 func NewIRI(p sim.Params, ringID int) *IRI {
-	return &IRI{
+	i := &IRI{
 		RingID: ringID,
 		p:      p,
 		upQ:    sim.NewQueue[*msg.Packet](p.IRIFIFO),
 		downQ:  sim.NewQueue[*msg.Packet](p.IRIFIFO),
 	}
+	// Observed at the end of the cycle, after the ring phases that push and
+	// pop these FIFOs, hence prePush=false.
+	i.upQ.MonitorEvery(32, false)
+	i.downQ.MonitorEvery(32, false)
+	return i
 }
 
 // LocalPort returns the IRI's attachment to its local ring.
@@ -41,8 +46,13 @@ func (i *IRI) LocalPort() Node { return localPort{i} }
 // CentralPort returns the IRI's attachment to the central ring.
 func (i *IRI) CentralPort() Node { return centralPort{i} }
 
-// Observe samples FIFO depths for monitoring.
-func (i *IRI) Observe() { i.upQ.Observe(); i.downQ.Observe() }
+// ObserveAt brings the periodic FIFO-depth sampling up to date through
+// cycle now (the machine calls it at the end of every stepped cycle).
+func (i *IRI) ObserveAt(now int64) { i.upQ.ObserveAt(now); i.downQ.ObserveAt(now) }
+
+// SyncStats accounts all observation boundaries through limit (called
+// before snapshotting results).
+func (i *IRI) SyncStats(limit int64) { i.upQ.SyncObsTo(limit); i.downQ.SyncObsTo(limit) }
 
 // UpStats and DownStats expose queue statistics.
 func (i *IRI) UpStats() sim.QueueStats   { return i.upQ.Stats() }
@@ -56,6 +66,15 @@ type localPort struct{ i *IRI }
 func (l localPort) InputFull() bool {
 	q := l.i.upQ
 	return q.Capacity > 0 && q.Len() >= q.Capacity-1
+}
+
+// NextInject reports when the port could next place a packet into a free
+// local-ring slot: the head of the down FIFO becomes ready at its ReadyAt.
+func (l localPort) NextInject(now int64) int64 {
+	if pk, ok := l.i.downQ.Peek(); ok {
+		return pk.ReadyAt
+	}
+	return sim.Never
 }
 
 func (l localPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
@@ -98,6 +117,15 @@ type centralPort struct{ i *IRI }
 func (c centralPort) InputFull() bool {
 	q := c.i.downQ
 	return q.Capacity > 0 && q.Len() >= q.Capacity-1
+}
+
+// NextInject reports when the port could next place a packet into a free
+// central-ring slot: the head of the up FIFO becomes ready at its ReadyAt.
+func (c centralPort) NextInject(now int64) int64 {
+	if pk, ok := c.i.upQ.Peek(); ok {
+		return pk.ReadyAt
+	}
+	return sim.Never
 }
 
 func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {

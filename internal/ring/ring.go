@@ -26,6 +26,11 @@ type Node interface {
 	// InputFull reports whether this node's input buffer is close to
 	// capacity, in which case the ring feeding it is halted (§2.4).
 	InputFull() bool
+	// NextInject reports the earliest cycle at or after which the node
+	// could place a packet into a free slot (sim.Never when it has no
+	// pending output). The ring's activity gate uses it; a conservative
+	// (too early) answer costs a no-op tick, never correctness.
+	NextInject(now int64) int64
 }
 
 // Ring is one slotted ring. Slots advance every Params.RingHopCycles CPU
@@ -44,6 +49,12 @@ type Ring struct {
 	// local rings of a hierarchy the IRI absorbs and re-injects them,
 	// modelling the ordering queue at the connection to the higher level.
 	markInSlot bool
+
+	// edgeAt is the first ring-clock edge not yet accounted in Util. Edges
+	// the scheduler skipped were provably empty and unhalted (only this
+	// ring's own ticks occupy its slots or fill its nodes' input buffers),
+	// so each contributes one idle observation per node.
+	edgeAt int64
 
 	// Util reports the fraction of slot-observations that were occupied —
 	// the ring utilization of Figure 17.
@@ -67,6 +78,73 @@ func New(name string, p sim.Params, nodes []Node, seqNode int, central bool) *Ri
 	}
 }
 
+// hop returns the ring-clock period in CPU cycles (at least 1).
+func (r *Ring) hop() int64 {
+	if r.p.RingHopCycles > 1 {
+		return int64(r.p.RingHopCycles)
+	}
+	return 1
+}
+
+// nextEdge returns the first ring-clock edge at or after t.
+func (r *Ring) nextEdge(t int64) int64 {
+	h := r.hop()
+	if rem := t % h; rem != 0 {
+		t += h - rem
+	}
+	return t
+}
+
+// NextWork reports the earliest ring-clock edge at which Tick can do more
+// than rotate empty slots: immediately while packets are in flight or the
+// ring is halted (halted edges count flow-control stalls), else the edge
+// after some node's pending output becomes injectable.
+func (r *Ring) NextWork(now int64) int64 {
+	if len(r.nodes) == 0 {
+		return sim.Never
+	}
+	for _, s := range r.slots {
+		if s != nil {
+			return r.nextEdge(now)
+		}
+	}
+	for _, n := range r.nodes {
+		if n.InputFull() {
+			return r.nextEdge(now)
+		}
+	}
+	wake := sim.Never
+	for _, n := range r.nodes {
+		if w := n.NextInject(now); w < wake {
+			wake = w
+		}
+	}
+	if wake == sim.Never {
+		return sim.Never
+	}
+	if wake < now {
+		wake = now
+	}
+	return r.nextEdge(wake)
+}
+
+// syncUtil accounts the utilization of every edge in [edgeAt, limit]. Only
+// edges the scheduler skipped can be pending here, and those were empty
+// and unhalted, so each contributes one idle observation per node —
+// exactly what the naive per-edge Util loop would have recorded.
+func (r *Ring) syncUtil(limit int64) {
+	if r.edgeAt > limit || len(r.nodes) == 0 {
+		return
+	}
+	k := (limit-r.edgeAt)/r.hop() + 1
+	r.Util.AddTotal(k * int64(len(r.nodes)))
+	r.edgeAt += k * r.hop()
+}
+
+// SyncStats brings the utilization counters up to date through limit
+// without advancing the ring (called before snapshotting results).
+func (r *Ring) SyncStats(limit int64) { r.syncUtil(limit) }
+
 // Tick advances the ring if this cycle is a ring-clock edge. Flow control:
 // when any attached node's input buffer is near-full the whole ring halts
 // (the paper halts the feeding ring; with one slot per node this is the
@@ -78,6 +156,8 @@ func (r *Ring) Tick(now int64) {
 	if len(r.nodes) == 0 {
 		return
 	}
+	r.syncUtil(now - 1)
+	r.edgeAt = now + r.hop()
 	for _, n := range r.nodes {
 		if n.InputFull() {
 			r.Stalls.Inc()

@@ -75,7 +75,7 @@ type StationRI struct {
 
 // NewStationRI builds the ring interface for a station.
 func NewStationRI(g topo.Geometry, p sim.Params, station int, credits *Credits) *StationRI {
-	return &StationRI{
+	r := &StationRI{
 		Station:   station,
 		g:         g,
 		p:         p,
@@ -89,6 +89,10 @@ func NewStationRI(g topo.Geometry, p sim.Params, station int, credits *Credits) 
 		reasm:     make(map[*msg.Message]int),
 		firstSeen: make(map[*msg.Message]int64),
 	}
+	// Observed at the top of Tick, which runs before the ring phase that
+	// pushes into this FIFO, hence prePush=true.
+	r.inFIFO.MonitorEvery(32, true)
+	return r
 }
 
 // BusOut implements bus.Module: messages arriving from the ring exit here.
@@ -174,12 +178,47 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 	return nil
 }
 
+// NextWork reports the earliest cycle at or after now at which Tick can do
+// more than occupancy sampling: the end of the current unpack latency when
+// packets are buffered, or now. An empty input FIFO only refills through
+// the ring phase, which the gate for the following cycle will see.
+func (r *StationRI) NextWork(now int64) int64 {
+	if r.inFIFO.Empty() {
+		return sim.Never
+	}
+	if now < r.unpackBusy {
+		return r.unpackBusy
+	}
+	return now
+}
+
+// NextInject implements the Node activity probe: the earliest cycle at
+// which a queued output packet becomes ready for a free slot. A
+// credit-blocked nonsinkable head still reports its ReadyAt — waking the
+// ring for a tick that injects nothing is harmless (the naive loop ticks
+// it every edge regardless), only missing work would not be.
+func (r *StationRI) NextInject(now int64) int64 {
+	wake := sim.Never
+	if pk, ok := r.sinkQ.Peek(); ok {
+		wake = pk.ReadyAt
+	}
+	if pk, ok := r.nonsinkQ.Peek(); ok && pk.ReadyAt < wake {
+		wake = pk.ReadyAt
+	}
+	return wake
+}
+
+// SyncStats brings the input-FIFO occupancy sampling up to date through
+// limit (called before snapshotting results).
+func (r *StationRI) SyncStats(limit int64) { r.inFIFO.SyncObsTo(limit) }
+
+// InFIFODepth returns the current input-FIFO depth (diagnostics).
+func (r *StationRI) InFIFODepth() int { return r.inFIFO.Len() }
+
 // Tick drains the input FIFO through the packet handler, reassembling
 // messages and handing completed ones to the station bus.
 func (r *StationRI) Tick(now int64) {
-	if now&31 == 0 {
-		r.inFIFO.Observe()
-	}
+	r.inFIFO.ObserveAt(now)
 	for now >= r.unpackBusy {
 		pkt, ok := r.inFIFO.Pop(now)
 		if !ok {

@@ -17,6 +17,15 @@ type Queue[T any] struct {
 	sumDepth int64 // depth integrated over observations
 	depthObs int64
 	maxDepth int
+
+	// Periodic-observation schedule (MonitorEvery). Occupancy samples are
+	// accounted lazily so the event-aware cycle loop can skip a quiescent
+	// queue's ticks and reconcile the missed samples afterwards: between
+	// two mutations the depth is constant, so every observation boundary
+	// crossed since the last sync is sampled at the current depth.
+	obsEvery  int64 // 0 = manual Observe() only
+	nextObs   int64 // next unsampled boundary cycle
+	obsAtPush bool  // the observation point precedes same-cycle pushes
 }
 
 type entry[T any] struct {
@@ -38,11 +47,51 @@ func (q *Queue[T]) Full() bool { return q.Capacity > 0 && q.Len() >= q.Capacity 
 // Empty reports whether the queue holds no items.
 func (q *Queue[T]) Empty() bool { return q.Len() == 0 }
 
+// MonitorEvery schedules an occupancy observation every `every` cycles
+// (cycle numbers divisible by every), replacing manual Observe calls.
+// prePush selects the intra-cycle observation point: true when the
+// component observes the queue before same-cycle pushes reach it (the ring
+// interface input FIFO, observed before the rings run), false when pushes
+// land first (memory and network-cache input queues, fed by the bus phase
+// that precedes their tick).
+func (q *Queue[T]) MonitorEvery(every int64, prePush bool) {
+	q.obsEvery = every
+	q.obsAtPush = prePush
+}
+
+// syncObs samples every unaccounted observation boundary up to and
+// including limit at the current depth.
+func (q *Queue[T]) syncObs(limit int64) {
+	if q.obsEvery == 0 || q.nextObs > limit {
+		return
+	}
+	k := (limit-q.nextObs)/q.obsEvery + 1
+	q.sumDepth += k * int64(q.Len())
+	q.depthObs += k
+	q.nextObs += k * q.obsEvery
+}
+
+// ObserveAt brings the periodic occupancy sampling up to date through
+// cycle now. Components call it where the naive loop would call Observe;
+// the lazy accounting makes it exact even when calls were skipped.
+func (q *Queue[T]) ObserveAt(now int64) { q.syncObs(now) }
+
+// SyncObsTo accounts all observation boundaries through limit (used when
+// snapshotting statistics after fast-forwarded cycles).
+func (q *Queue[T]) SyncObsTo(limit int64) { q.syncObs(limit) }
+
 // Push enqueues v at simulation time now. It returns false (and drops
 // nothing) when the queue is full; callers must check.
 func (q *Queue[T]) Push(v T, now int64) bool {
 	if q.Full() {
 		return false
+	}
+	if q.obsEvery > 0 {
+		if q.obsAtPush {
+			q.syncObs(now) // boundary at now sees the pre-push depth
+		} else {
+			q.syncObs(now - 1) // boundary at now is sampled after the push
+		}
 	}
 	q.items = append(q.items, entry[T]{v: v, at: now})
 	if d := q.Len(); d > q.maxDepth {
@@ -64,6 +113,9 @@ func (q *Queue[T]) Peek() (v T, ok bool) {
 func (q *Queue[T]) Pop(now int64) (v T, ok bool) {
 	if q.Empty() {
 		return v, false
+	}
+	if q.obsEvery > 0 {
+		q.syncObs(now - 1) // boundaries before the pop cycle at pre-pop depth
 	}
 	e := q.items[q.head]
 	var zero T

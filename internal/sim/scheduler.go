@@ -1,0 +1,134 @@
+package sim
+
+import "math"
+
+// Never is the wake-up time of a component that cannot do any work until an
+// external event (a bus delivery, a ring slot, a barrier release) reaches
+// it. It compares greater than every real cycle number.
+const Never = int64(math.MaxInt64)
+
+// Scheduler tracks, for every registered component of the machine, the
+// earliest future cycle at which that component can next do useful work.
+// The cycle loop consults it to fast-forward over quiescent stretches:
+// when every component reports a wake-up strictly in the future, all the
+// intervening cycles are provably stat-only no-ops and can be skipped.
+//
+// Components re-report their wake-up each time the cycle loop gates them,
+// so entries are only pushed onto the heap when a component's wake-up
+// actually changes; stale heap entries are discarded lazily against the
+// per-component cache, and the heap is rebuilt from the cache when lazy
+// garbage accumulates. Everything is plain slices — no maps, no
+// goroutines — so the scheduler cannot introduce nondeterminism.
+type Scheduler struct {
+	next  []int64 // per-component cached wake-up (activeNow while ticking)
+	names []string
+	heap  []schedEntry // lazy-deletion min-heap keyed on wake
+}
+
+type schedEntry struct {
+	wake int64
+	id   int
+}
+
+// activeNow marks a component that was ticked this cycle: its wake-up is
+// unknown until it is gated again, so it must never satisfy a heap entry.
+const activeNow = int64(-1)
+
+// NewScheduler returns an empty scheduler.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Register adds a component and returns its id. The name is kept for
+// diagnostics only.
+func (s *Scheduler) Register(name string) int {
+	s.next = append(s.next, activeNow)
+	s.names = append(s.names, name)
+	return len(s.next) - 1
+}
+
+// MarkActive records that the component is being ticked this cycle; any
+// cached wake-up it reported earlier is invalidated.
+func (s *Scheduler) MarkActive(id int) { s.next[id] = activeNow }
+
+// Report records the component's next possible self-generated work at cycle
+// wake (Never when only external input can revive it). Reporting the same
+// value repeatedly is free; a changed finite value costs one heap push.
+func (s *Scheduler) Report(id int, wake int64) {
+	if s.next[id] == wake {
+		return
+	}
+	s.next[id] = wake
+	if wake == Never {
+		return
+	}
+	if len(s.heap) >= 2*len(s.next)+64 {
+		s.rebuild()
+	}
+	s.push(schedEntry{wake: wake, id: id})
+}
+
+// NextEvent returns the earliest cached wake-up across all idle components,
+// or Never when no component has self-generated future work.
+func (s *Scheduler) NextEvent() int64 {
+	for len(s.heap) > 0 {
+		top := s.heap[0]
+		if s.next[top.id] == top.wake {
+			return top.wake
+		}
+		s.pop() // stale: the component re-reported or went active
+	}
+	return Never
+}
+
+// rebuild discards lazy garbage, re-heapifying from the cache.
+func (s *Scheduler) rebuild() {
+	s.heap = s.heap[:0]
+	for id, wake := range s.next {
+		if wake != activeNow && wake != Never {
+			s.heap = append(s.heap, schedEntry{wake: wake, id: id})
+		}
+	}
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+func (s *Scheduler) push(e schedEntry) {
+	s.heap = append(s.heap, e)
+	i := len(s.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].wake <= s.heap[i].wake {
+			break
+		}
+		s.heap[parent], s.heap[i] = s.heap[i], s.heap[parent]
+		i = parent
+	}
+}
+
+func (s *Scheduler) pop() {
+	last := len(s.heap) - 1
+	s.heap[0] = s.heap[last]
+	s.heap = s.heap[:last]
+	s.siftDown(0)
+}
+
+func (s *Scheduler) siftDown(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.heap[l].wake < s.heap[min].wake {
+			min = l
+		}
+		if r < n && s.heap[r].wake < s.heap[min].wake {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s.heap[i], s.heap[min] = s.heap[min], s.heap[i]
+		i = min
+	}
+}

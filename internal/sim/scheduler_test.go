@@ -1,0 +1,94 @@
+package sim
+
+import "testing"
+
+func TestSchedulerNextEvent(t *testing.T) {
+	s := NewScheduler()
+	a := s.Register("a")
+	b := s.Register("b")
+	c := s.Register("c")
+
+	if got := s.NextEvent(); got != Never {
+		t.Fatalf("empty scheduler NextEvent = %d, want Never", got)
+	}
+	s.Report(a, 100)
+	s.Report(b, 50)
+	s.Report(c, Never)
+	if got := s.NextEvent(); got != 50 {
+		t.Fatalf("NextEvent = %d, want 50", got)
+	}
+	// b goes active: its cached wake-up is invalidated, so the stale heap
+	// entry must be discarded lazily.
+	s.MarkActive(b)
+	if got := s.NextEvent(); got != 100 {
+		t.Fatalf("NextEvent after MarkActive = %d, want 100", got)
+	}
+	// b re-reports later than a.
+	s.Report(b, 300)
+	if got := s.NextEvent(); got != 100 {
+		t.Fatalf("NextEvent = %d, want 100", got)
+	}
+	// a moves earlier; the new entry must win.
+	s.MarkActive(a)
+	s.Report(a, 10)
+	if got := s.NextEvent(); got != 10 {
+		t.Fatalf("NextEvent = %d, want 10", got)
+	}
+	// Everyone idle forever.
+	for _, id := range []int{a, b, c} {
+		s.MarkActive(id)
+		s.Report(id, Never)
+	}
+	if got := s.NextEvent(); got != Never {
+		t.Fatalf("NextEvent = %d, want Never", got)
+	}
+}
+
+// TestSchedulerRebuild drives enough re-reports through a small component
+// set to trigger the garbage-collecting heap rebuild, checking the minimum
+// stays correct throughout.
+func TestSchedulerRebuild(t *testing.T) {
+	s := NewScheduler()
+	ids := make([]int, 8)
+	for i := range ids {
+		ids[i] = s.Register("x")
+	}
+	next := func() int64 {
+		min := Never
+		for _, w := range s.next {
+			if w != activeNow && w < min {
+				min = w
+			}
+		}
+		return min
+	}
+	wake := int64(1)
+	for round := 0; round < 200; round++ {
+		for _, id := range ids {
+			s.MarkActive(id)
+			s.Report(id, wake+int64(id%5)*7)
+		}
+		wake += 3
+		if got, want := s.NextEvent(), next(); got != want {
+			t.Fatalf("round %d: NextEvent = %d, want %d (heap size %d)", round, got, want, len(s.heap))
+		}
+	}
+	if len(s.heap) > 2*len(ids)+64 {
+		t.Errorf("heap grew unboundedly: %d entries for %d components", len(s.heap), len(ids))
+	}
+}
+
+// TestSchedulerReportUnchangedIsFree verifies that re-reporting the same
+// wake-up does not grow the heap (the common every-cycle case).
+func TestSchedulerReportUnchangedIsFree(t *testing.T) {
+	s := NewScheduler()
+	id := s.Register("a")
+	s.Report(id, 42)
+	before := len(s.heap)
+	for i := 0; i < 1000; i++ {
+		s.Report(id, 42)
+	}
+	if len(s.heap) != before {
+		t.Errorf("heap grew from %d to %d on unchanged reports", before, len(s.heap))
+	}
+}

@@ -1,0 +1,62 @@
+// Integration-level equivalence: real SPLASH-style workloads must produce
+// bit-identical results under the naive tick-everything loop and the
+// quiescence-scheduled loop. The synthetic scenarios in
+// internal/core/equivalence_test.go cover the protocol corners; this file
+// covers the actual workload generators (which core's own tests cannot
+// import without a cycle).
+package numachine_test
+
+import (
+	"reflect"
+	"testing"
+
+	"numachine/internal/core"
+	"numachine/internal/workloads"
+)
+
+func runWorkload(t *testing.T, name string, procs, size int, naive bool) (int64, core.Results) {
+	t.Helper()
+	cfg := benchConfig()
+	cfg.NaiveLoop = naive
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := workloads.Build(name, m, procs, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Load(inst.Progs)
+	cycles := m.Run()
+	if err := inst.Check(); err != nil {
+		t.Fatalf("%s (naive=%v): %v", name, naive, err)
+	}
+	return cycles, m.Results()
+}
+
+func TestWorkloadLoopEquivalence(t *testing.T) {
+	cases := []struct {
+		name        string
+		procs, size int
+	}{
+		{"radix", 16, 1024},
+		{"fft", 16, 1024},
+		{"ocean", 16, 32},
+		{"water-nsq", 16, 32},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			nCycles, nRes := runWorkload(t, c.name, c.procs, c.size, true)
+			sCycles, sRes := runWorkload(t, c.name, c.procs, c.size, false)
+			if nCycles != sCycles {
+				t.Errorf("cycle count: naive=%d scheduler=%d", nCycles, sCycles)
+			}
+			if !reflect.DeepEqual(nRes, sRes) {
+				t.Errorf("results diverge:\nnaive:     %+v\nscheduler: %+v", nRes, sRes)
+			}
+		})
+	}
+}
