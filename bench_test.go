@@ -52,7 +52,7 @@ func BenchmarkTable1Latencies(b *testing.B) {
 // the P=64 speedup.
 func speedupBench(b *testing.B, name string) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Speedup(benchConfig(), name, benchSizes[name], []int{1, 16, 64})
+		pts, err := experiments.Speedup(benchConfig(), name, benchSizes[name], []int{1, 16, 64}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +191,7 @@ func BenchmarkTable3FalseRemotes(b *testing.B) {
 // sequential-consistency locking costs only ~2% overall.
 func BenchmarkAblationSCLocking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationSCLocking(benchConfig(), 64, []string{"ocean", "radix"})
+		res, err := experiments.AblationSCLocking(benchConfig(), 64, []string{"ocean", "radix"}, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -217,26 +217,27 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
-// BenchmarkCycleLoop compares the naive tick-everything loop against the
-// event-aware quiescence scheduler on the same workloads. Both produce
+// BenchmarkCycleLoop compares the three cycle loops on the same workloads:
+// the naive tick-everything reference, the event-aware quiescence
+// scheduler, and the station-parallel two-phase loop. All three produce
 // bit-identical results (internal/core/equivalence_test.go); the scheduler
 // skips ticks of provably idle components and fast-forwards fully
-// quiescent stretches, so the ratio is the speedup of the default loop.
+// quiescent stretches, and the parallel loop additionally shards the
+// station phase across cores, so the ratios are the speedups of the
+// optimized loops. CI runs this trio with -benchmem and archives the
+// output, recording the perf trajectory per PR.
 func BenchmarkCycleLoop(b *testing.B) {
 	workset := []struct {
 		workload string
 		procs    int
 	}{{"ocean", 64}, {"water-nsq", 64}}
 	for _, w := range workset {
-		for _, naive := range []bool{true, false} {
-			loop := "scheduler"
-			if naive {
-				loop = "naive"
-			}
+		for _, loop := range []string{"naive", "scheduler", "parallel"} {
 			b.Run(w.workload+"/"+loop, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					cfg := benchConfig()
-					cfg.NaiveLoop = naive
+					cfg.NaiveLoop = loop == "naive"
+					cfg.ParallelStations = loop == "parallel"
 					m, err := core.New(cfg)
 					if err != nil {
 						b.Fatal(err)

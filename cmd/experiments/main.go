@@ -15,6 +15,13 @@
 //
 // The -procs flag trims the speedup sweeps (default 1,2,4,8,16,32,64) and
 // -scale scales problem sizes (1 = defaults from EXPERIMENTS.md).
+//
+// Two independent levels of host parallelism are available, composable and
+// both deterministic: -workers N runs the independent (workload, P)
+// simulation points of a sweep on N goroutines (0 = GOMAXPROCS, 1 =
+// serial; output is byte-identical either way), and -parallel enables the
+// station-parallel cycle loop inside each simulation (bit-identical
+// results, enforced by the equivalence suite).
 package main
 
 import (
@@ -32,6 +39,8 @@ import (
 func main() {
 	procsFlag := flag.String("procs", "1,2,4,8,16,32,64", "processor counts for speedup sweeps")
 	scale := flag.Int("scale", 1, "problem size multiplier for speedup sweeps")
+	workers := flag.Int("workers", 1, "goroutines for independent sweep points (0 = GOMAXPROCS)")
+	parallel := flag.Bool("parallel", false, "station-parallel cycle loop inside each simulation")
 	flag.Parse()
 	what := flag.Arg(0)
 	if what == "" {
@@ -48,6 +57,7 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
+	cfg.ParallelStations = *parallel
 	run := func(name string, fn func() error) {
 		switch what {
 		case "all", name:
@@ -69,13 +79,18 @@ func main() {
 
 	speedups := func(names []string, figure string) error {
 		fmt.Printf("%s: parallel speedup (paper's Figure %s shape: see EXPERIMENTS.md)\n", figure, figure[3:])
+		sizes := make(map[string]int, len(names))
 		for _, name := range names {
-			size := experiments.SpeedupSizes()[name] * *scale
-			pts, err := experiments.Speedup(cfg, name, size, procs)
-			if err != nil {
-				return err
-			}
-			experiments.PrintSpeedup(os.Stdout, name, pts)
+			sizes[name] = experiments.SpeedupSizes()[name] * *scale
+		}
+		// Fan every (workload, P) point of the figure out at once rather
+		// than curve by curve; the printed curves are identical.
+		curves, err := experiments.SweepSpeedups(cfg, names, sizes, procs, *workers)
+		if err != nil {
+			return err
+		}
+		for _, c := range curves {
+			experiments.PrintSpeedup(os.Stdout, c.Name, c.Points)
 		}
 		return nil
 	}
@@ -83,7 +98,7 @@ func main() {
 	run("fig14", func() error { return speedups(workloads.Applications(), "fig14") })
 
 	run("fig15-18", func() error {
-		runs, err := experiments.NCFigures(cfg, cfg.Geom.Procs())
+		runs, err := experiments.NCFigures(cfg, cfg.Geom.Procs(), *workers)
 		if err != nil {
 			return err
 		}
@@ -103,14 +118,14 @@ func main() {
 		// that makes the recovery mechanism visible.
 		small := cfg
 		small.Params.NCLines = 512
-		rows, err := experiments.Table3(small, small.Geom.Procs())
+		rows, err := experiments.Table3(small, small.Geom.Procs(), *workers)
 		if err != nil {
 			return err
 		}
 		fmt.Println("(512-line network cache, forcing ejections)")
 		experiments.PrintTable3(os.Stdout, rows)
 		big := cfg
-		rows, err = experiments.Table3(big, big.Geom.Procs())
+		rows, err = experiments.Table3(big, big.Geom.Procs(), *workers)
 		if err != nil {
 			return err
 		}
@@ -121,7 +136,7 @@ func main() {
 
 	run("ablation", func() error {
 		names := []string{"radix", "lu-contig", "ocean", "water-nsq"}
-		res, err := experiments.AblationSCLocking(cfg, cfg.Geom.Procs(), names)
+		res, err := experiments.AblationSCLocking(cfg, cfg.Geom.Procs(), names, *workers)
 		if err != nil {
 			return err
 		}

@@ -31,6 +31,8 @@ func main() {
 		nc       = flag.Int("nc-lines", 65536, "network cache lines per station")
 		firstT   = flag.Bool("first-touch", false, "first-touch page placement (default round robin)")
 		noSC     = flag.Bool("no-sc-locking", false, "disable sequential-consistency locking (§2.3 ablation)")
+		par      = flag.Bool("parallel", false, "station-parallel cycle loop (bit-identical; needs multiple cores to pay off)")
+		naive    = flag.Bool("naive", false, "reference per-cycle loop instead of the event-aware scheduler")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 	)
 	flag.Parse()
@@ -50,6 +52,8 @@ func main() {
 	if *firstT {
 		cfg.Placement = core.FirstTouch
 	}
+	cfg.ParallelStations = *par
+	cfg.NaiveLoop = *naive
 
 	m, err := core.New(cfg)
 	if err != nil {

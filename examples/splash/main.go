@@ -33,7 +33,8 @@ func main() {
 	cfg := numachine.DefaultConfig()
 	size := experiments.SpeedupSizes()[name]
 	fmt.Printf("%s (size %d) on the 64-processor prototype:\n", name, size)
-	pts, err := experiments.Speedup(cfg, name, size, []int{1, 4, 16, 64})
+	// workers 0: run the four points concurrently on all available cores.
+	pts, err := experiments.Speedup(cfg, name, size, []int{1, 4, 16, 64}, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

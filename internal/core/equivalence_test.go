@@ -177,12 +177,23 @@ func equivScenarios() []equivScenario {
 	return scenarios
 }
 
-// runEquiv executes one scenario under the given loop and returns the
+// equivLoops are the cycle-loop variants every scenario must agree across.
+// "parallel" requests ParallelStations; on FirstTouch scenarios the machine
+// falls back to the scheduled loop, which this harness deliberately still
+// runs (the fallback must be equivalent too).
+var equivLoops = []string{"naive", "scheduled", "parallel"}
+
+// runEquiv executes one scenario under the named loop and returns the
 // machine plus the Run() return value.
-func runEquiv(t *testing.T, sc equivScenario, naive bool) (*Machine, int64) {
+func runEquiv(t *testing.T, sc equivScenario, loop string) (*Machine, int64) {
 	t.Helper()
 	cfg := sc.cfg()
-	cfg.NaiveLoop = naive
+	switch loop {
+	case "naive":
+		cfg.NaiveLoop = true
+	case "parallel":
+		cfg.ParallelStations = true
+	}
 	m, err := New(cfg)
 	if err != nil {
 		t.Fatalf("%s: %v", sc.name, err)
@@ -190,83 +201,93 @@ func runEquiv(t *testing.T, sc equivScenario, naive bool) (*Machine, int64) {
 	m.Load(sc.load(m))
 	cycles := m.Run()
 	if err := m.CheckCoherence(); err != nil {
-		t.Fatalf("%s (naive=%v): coherence: %v", sc.name, naive, err)
+		t.Fatalf("%s (%s): coherence: %v", sc.name, loop, err)
 	}
 	return m, cycles
 }
 
-// TestSchedulerEquivalence is the harness the quiescence scheduler is
-// judged by: for every scenario, the naive tick-everything loop and the
-// event-aware loop must produce bit-identical cycle counts, per-CPU
-// completion times, and every monitored statistic.
+// compareRuns checks bit-identity of two finished machines: cycle counts,
+// per-CPU completion times and stats, the full Results snapshot, and the
+// per-component queue/utilization statistics.
+func compareRuns(t *testing.T, aName, bName string, ma, mb *Machine, cyclesA, cyclesB int64) {
+	t.Helper()
+	if cyclesA != cyclesB {
+		t.Errorf("Run(): %s=%d %s=%d", aName, cyclesA, bName, cyclesB)
+	}
+	if ma.Now() != mb.Now() {
+		t.Errorf("final cycle: %s=%d %s=%d", aName, ma.Now(), bName, mb.Now())
+	}
+	for i := range ma.CPUs {
+		if a, b := ma.CPUs[i].FinishedAt(), mb.CPUs[i].FinishedAt(); a != b {
+			t.Errorf("cpu[%d] FinishedAt: %s=%d %s=%d", i, aName, a, bName, b)
+		}
+		sa, sb := ma.CPUs[i].Stats, mb.CPUs[i].Stats
+		if !reflect.DeepEqual(sa, sb) {
+			t.Errorf("cpu[%d] stats diverge:\n%s: %+v\n%s: %+v", i, aName, sa, bName, sb)
+		}
+	}
+	ra, rb := ma.Results(), mb.Results()
+	if !reflect.DeepEqual(ra, rb) {
+		t.Errorf("Results diverge:\n%s: %+v\n%s: %+v", aName, ra, bName, rb)
+	}
+	for i := range ma.RIs {
+		type triple struct{ sink, nonsink, in sim.QueueStats }
+		var a, b triple
+		a.sink, a.nonsink, a.in = ma.RIs[i].QueueStats()
+		b.sink, b.nonsink, b.in = mb.RIs[i].QueueStats()
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("ri[%d] queue stats diverge:\n%s: %+v\n%s: %+v", i, aName, a, bName, b)
+		}
+	}
+	for i := range ma.Mems {
+		if a, b := ma.Mems[i].InQStats(), mb.Mems[i].InQStats(); !reflect.DeepEqual(a, b) {
+			t.Errorf("mem[%d] inQ stats diverge:\n%s: %+v\n%s: %+v", i, aName, a, bName, b)
+		}
+	}
+	for i := range ma.NCs {
+		if a, b := ma.NCs[i].InQStats(), mb.NCs[i].InQStats(); !reflect.DeepEqual(a, b) {
+			t.Errorf("nc[%d] inQ stats diverge:\n%s: %+v\n%s: %+v", i, aName, a, bName, b)
+		}
+	}
+	for i := range ma.Buses {
+		if a, b := ma.Buses[i].Util.Value(), mb.Buses[i].Util.Value(); a != b {
+			t.Errorf("bus[%d] utilization: %s=%v %s=%v", i, aName, a, bName, b)
+		}
+		if a, b := ma.Buses[i].Transfers.Value(), mb.Buses[i].Transfers.Value(); a != b {
+			t.Errorf("bus[%d] transfers: %s=%d %s=%d", i, aName, a, bName, b)
+		}
+	}
+	for i := range ma.Locals {
+		if a, b := ma.Locals[i].Util.Value(), mb.Locals[i].Util.Value(); a != b {
+			t.Errorf("local ring %d utilization: %s=%v %s=%v", i, aName, a, bName, b)
+		}
+		if a, b := ma.Locals[i].Stalls.Value(), mb.Locals[i].Stalls.Value(); a != b {
+			t.Errorf("local ring %d stalls: %s=%d %s=%d", i, aName, a, bName, b)
+		}
+	}
+	if ma.Central != nil {
+		if a, b := ma.Central.Util.Value(), mb.Central.Util.Value(); a != b {
+			t.Errorf("central ring utilization: %s=%v %s=%v", aName, a, bName, b)
+		}
+	}
+}
+
+// TestSchedulerEquivalence is the harness the optimized cycle loops are
+// judged by: for every scenario, the naive tick-everything loop, the
+// event-aware scheduled loop, and the station-parallel loop must produce
+// bit-identical cycle counts, per-CPU completion times, and every
+// monitored statistic.
 func TestSchedulerEquivalence(t *testing.T) {
 	for _, sc := range equivScenarios() {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
-			mn, cyclesN := runEquiv(t, sc, true)
-			ms, cyclesS := runEquiv(t, sc, false)
-
-			if cyclesN != cyclesS {
-				t.Errorf("Run(): naive=%d scheduled=%d", cyclesN, cyclesS)
-			}
-			if mn.Now() != ms.Now() {
-				t.Errorf("final cycle: naive=%d scheduled=%d", mn.Now(), ms.Now())
-			}
-			for i := range mn.CPUs {
-				if a, b := mn.CPUs[i].FinishedAt(), ms.CPUs[i].FinishedAt(); a != b {
-					t.Errorf("cpu[%d] FinishedAt: naive=%d scheduled=%d", i, a, b)
+			mn, cyclesN := runEquiv(t, sc, "naive")
+			for _, loop := range equivLoops[1:] {
+				m, cycles := runEquiv(t, sc, loop)
+				compareRuns(t, "naive", loop, mn, m, cyclesN, cycles)
+				if loop == "scheduled" && sc.name == "compute-heavy" && m.FastForwarded.Value() == 0 {
+					t.Errorf("compute-heavy scenario fast-forwarded 0 cycles; scheduler not engaging")
 				}
-				sa, sb := mn.CPUs[i].Stats, ms.CPUs[i].Stats
-				if !reflect.DeepEqual(sa, sb) {
-					t.Errorf("cpu[%d] stats diverge:\nnaive:     %+v\nscheduled: %+v", i, sa, sb)
-				}
-			}
-			rn, rs := mn.Results(), ms.Results()
-			if !reflect.DeepEqual(rn, rs) {
-				t.Errorf("Results diverge:\nnaive:     %+v\nscheduled: %+v", rn, rs)
-			}
-			for i := range mn.RIs {
-				type triple struct{ sink, nonsink, in sim.QueueStats }
-				var a, b triple
-				a.sink, a.nonsink, a.in = mn.RIs[i].QueueStats()
-				b.sink, b.nonsink, b.in = ms.RIs[i].QueueStats()
-				if !reflect.DeepEqual(a, b) {
-					t.Errorf("ri[%d] queue stats diverge:\nnaive:     %+v\nscheduled: %+v", i, a, b)
-				}
-			}
-			for i := range mn.Mems {
-				if a, b := mn.Mems[i].InQStats(), ms.Mems[i].InQStats(); !reflect.DeepEqual(a, b) {
-					t.Errorf("mem[%d] inQ stats diverge:\nnaive:     %+v\nscheduled: %+v", i, a, b)
-				}
-			}
-			for i := range mn.NCs {
-				if a, b := mn.NCs[i].InQStats(), ms.NCs[i].InQStats(); !reflect.DeepEqual(a, b) {
-					t.Errorf("nc[%d] inQ stats diverge:\nnaive:     %+v\nscheduled: %+v", i, a, b)
-				}
-			}
-			for i := range mn.Buses {
-				if a, b := mn.Buses[i].Util.Value(), ms.Buses[i].Util.Value(); a != b {
-					t.Errorf("bus[%d] utilization: naive=%v scheduled=%v", i, a, b)
-				}
-				if a, b := mn.Buses[i].Transfers.Value(), ms.Buses[i].Transfers.Value(); a != b {
-					t.Errorf("bus[%d] transfers: naive=%d scheduled=%d", i, a, b)
-				}
-			}
-			for i := range mn.Locals {
-				if a, b := mn.Locals[i].Util.Value(), ms.Locals[i].Util.Value(); a != b {
-					t.Errorf("local ring %d utilization: naive=%v scheduled=%v", i, a, b)
-				}
-				if a, b := mn.Locals[i].Stalls.Value(), ms.Locals[i].Stalls.Value(); a != b {
-					t.Errorf("local ring %d stalls: naive=%d scheduled=%d", i, a, b)
-				}
-			}
-			if mn.Central != nil {
-				if a, b := mn.Central.Util.Value(), ms.Central.Util.Value(); a != b {
-					t.Errorf("central ring utilization: naive=%v scheduled=%v", a, b)
-				}
-			}
-			if skipped := ms.FastForwarded.Value(); skipped == 0 && sc.name == "compute-heavy" {
-				t.Errorf("compute-heavy scenario fast-forwarded 0 cycles; scheduler not engaging")
 			}
 		})
 	}
@@ -325,14 +346,16 @@ func TestSchedulerEquivalenceQuick(t *testing.T) {
 			return progs
 		}
 		t.Run(sc.name, func(t *testing.T) {
-			mn, cyclesN := runEquiv(t, sc, true)
-			ms, cyclesS := runEquiv(t, sc, false)
-			if cyclesN != cyclesS || mn.Now() != ms.Now() {
-				t.Errorf("cycles: naive=(%d,%d) scheduled=(%d,%d)", cyclesN, mn.Now(), cyclesS, ms.Now())
-			}
-			rn, rs := mn.Results(), ms.Results()
-			if !reflect.DeepEqual(rn, rs) {
-				t.Errorf("Results diverge:\nnaive:     %+v\nscheduled: %+v", rn, rs)
+			mn, cyclesN := runEquiv(t, sc, "naive")
+			for _, loop := range equivLoops[1:] {
+				m, cycles := runEquiv(t, sc, loop)
+				if cyclesN != cycles || mn.Now() != m.Now() {
+					t.Errorf("cycles: naive=(%d,%d) %s=(%d,%d)", cyclesN, mn.Now(), loop, cycles, m.Now())
+				}
+				rn, rl := mn.Results(), m.Results()
+				if !reflect.DeepEqual(rn, rl) {
+					t.Errorf("Results diverge:\nnaive:    %+v\n%s: %+v", rn, loop, rl)
+				}
 			}
 		})
 	}

@@ -43,6 +43,33 @@ type Config struct {
 	// test suite enforces it); the naive loop exists as the reference
 	// implementation and for debugging.
 	NaiveLoop bool
+
+	// ParallelStations runs the station phase of each cycle (processors,
+	// buses, memory modules, network caches) on a worker pool, one shard
+	// per station, with the ring phase serialized behind a barrier. Results
+	// stay bit-identical to the serial loops. Ignored under NaiveLoop, and
+	// under FirstTouch placement (same-cycle first touches from different
+	// stations have no serial order to reproduce), where the machine falls
+	// back to the scheduled serial loop.
+	ParallelStations bool
+
+	// StationWorkers bounds the worker pool for ParallelStations;
+	// 0 means GOMAXPROCS.
+	StationWorkers int
+}
+
+// LoopName names the cycle loop this configuration selects: "naive",
+// "parallel", or "scheduled" (the default). Error messages and sweep
+// drivers use it so any run is reproducible from its label.
+func (cfg Config) LoopName() string {
+	switch {
+	case cfg.NaiveLoop:
+		return "naive"
+	case cfg.ParallelStations && cfg.Placement != FirstTouch:
+		return "parallel"
+	default:
+		return "scheduled"
+	}
 }
 
 // DefaultConfig returns the 64-processor prototype configuration.
@@ -81,6 +108,20 @@ type Machine struct {
 	barrier  barrierCtl
 	Phases   *monitor.PhaseIDs
 	deadlock int64
+
+	// Station-parallel cycle loop (nil pool when serial): stations tick
+	// concurrently in phase 1, one shard each; stationCPUs[s] are the CPUs
+	// of station s in tick order. inParallelPhase marks phase 1 so shared
+	// controllers (the barrier) buffer per station instead of mutating
+	// global state from worker goroutines.
+	pool            *sim.ShardPool
+	stationCPUs     [][]*proc.CPU
+	inParallelPhase bool
+
+	// watchdogAt is the cycle at which the deadlock watchdog next samples
+	// progress; quiescence fast-forwards clamp to it so the watchdog trips
+	// at the same cycle in every loop.
+	watchdogAt int64
 
 	// Quiescence scheduler (nil when Cfg.NaiveLoop): per-component ids into
 	// sched, in the same order the components are ticked.
@@ -139,6 +180,14 @@ func New(cfg Config) (*Machine, error) {
 	m.buildRings()
 	if !cfg.NaiveLoop {
 		m.buildScheduler()
+	}
+	if cfg.LoopName() == "parallel" {
+		for s := 0; s < g.Stations(); s++ {
+			first := g.ProcAt(s, 0)
+			m.stationCPUs = append(m.stationCPUs, m.CPUs[first:first+g.ProcsPerStation])
+		}
+		m.pool = sim.NewShardPool(cfg.StationWorkers, g.Stations(), m.tickStation)
+		m.barrier.parArrived = make([][]*proc.CPU, g.Stations())
 	}
 	return m, nil
 }
@@ -260,7 +309,12 @@ func (m *Machine) HomeOf(addr uint64) int {
 }
 
 // homeOfFor builds the per-CPU home resolver, implementing first-touch
-// assignment when configured.
+// assignment when configured. Under the parallel loop the resolver must
+// not memoize: CPUs on different stations call it concurrently during
+// phase 1, and round-robin homes are a pure function of the page anyway
+// (FirstTouch, which genuinely assigns, never runs parallel). pageHome is
+// then read-only during phase 1 — only AllocAt overrides, written before
+// Run — so the concurrent map reads are safe.
 func (m *Machine) homeOfFor(c *proc.CPU) func(uint64) int {
 	return func(line uint64) int {
 		pg := line / uint64(m.p.PageSize)
@@ -272,6 +326,9 @@ func (m *Machine) homeOfFor(c *proc.CPU) func(uint64) int {
 			s = c.Station
 		} else {
 			s = int(pg % uint64(m.g.Stations()))
+			if m.pool != nil {
+				return s
+			}
 		}
 		m.pageHome[pg] = s
 		return s
@@ -286,6 +343,7 @@ func (m *Machine) homeOfFor(c *proc.CPU) func(uint64) int {
 type barrierCtl struct {
 	participants int
 	arrived      []*proc.CPU
+	parArrived   [][]*proc.CPU // phase-1 arrival buffers, one per station
 	releases     []barrierRelease
 }
 
@@ -294,7 +352,19 @@ type barrierRelease struct {
 	at  int64
 }
 
+// barrierArrive records a CPU's arrival. During the parallel station phase
+// arrivals land in the caller's station buffer (each buffer is touched by
+// exactly one worker); flushParallelArrivals merges them afterwards.
 func (m *Machine) barrierArrive(c *proc.CPU, now int64) {
+	if m.inParallelPhase {
+		s := c.Station
+		m.barrier.parArrived[s] = append(m.barrier.parArrived[s], c)
+		return
+	}
+	m.arriveSerial(c, now)
+}
+
+func (m *Machine) arriveSerial(c *proc.CPU, now int64) {
 	m.barrier.arrived = append(m.barrier.arrived, c)
 	if len(m.barrier.arrived) < m.barrier.participants {
 		return
@@ -305,6 +375,19 @@ func (m *Machine) barrierArrive(c *proc.CPU, now int64) {
 		m.barrier.releases = append(m.barrier.releases, barrierRelease{cpu: cpu, at: now + delay})
 	}
 	m.barrier.arrived = m.barrier.arrived[:0]
+}
+
+// flushParallelArrivals replays the buffered phase-1 arrivals in station
+// order. Processor ids are station-major and each buffer preserves local
+// tick order, so the merged sequence is exactly the order the serial CPU
+// loop would have produced — barrier completion is bit-identical.
+func (m *Machine) flushParallelArrivals(now int64) {
+	for s, buf := range m.barrier.parArrived {
+		for _, c := range buf {
+			m.arriveSerial(c, now)
+		}
+		m.barrier.parArrived[s] = buf[:0]
+	}
 }
 
 // barrierLatency approximates the multicast of barrier-register writes:
@@ -356,13 +439,18 @@ func (m *Machine) Load(progs []proc.Program) {
 // activity gate fires are ticked; the gate runs immediately before each
 // component's slot in the same order, so it sees exactly the state the
 // naive tick would have seen, and a skipped tick is provably a stats-only
-// no-op that the lazy counters reconcile later.
+// no-op that the lazy counters reconcile later. With ParallelStations the
+// station phase runs sharded across workers (see stepParallel); the
+// observable tick order is unchanged.
 func (m *Machine) Step() {
-	if m.sched == nil {
+	switch {
+	case m.sched == nil:
 		m.stepNaive()
-		return
+	case m.pool != nil:
+		m.stepParallel()
+	default:
+		m.stepScheduled()
 	}
-	m.stepScheduled()
 }
 
 func (m *Machine) stepNaive() {
@@ -496,14 +584,27 @@ func (m *Machine) nextWake() int64 {
 // step advances one cycle and, when the machine proved quiescent, jumps
 // m.now to the next scheduled event. The jump is exact: no component
 // ticked, so no state can change until the earliest reported wake-up, and
-// every per-cycle statistic is reconciled lazily.
+// every per-cycle statistic is reconciled lazily. Jumps never pass the
+// watchdog deadline, so the no-progress check in Run samples at exactly
+// the cycles the naive loop samples — including a sim.Never wake on a
+// fully wedged machine, which must land on the deadline rather than spin.
 func (m *Machine) step() {
 	if m.sched == nil {
 		m.stepNaive()
 		return
 	}
-	if m.stepScheduled() == 0 {
-		if wake := m.nextWake(); wake > m.now && wake != sim.Never {
+	ticked := 0
+	if m.pool != nil {
+		ticked = m.stepParallel()
+	} else {
+		ticked = m.stepScheduled()
+	}
+	if ticked == 0 {
+		wake := m.nextWake()
+		if m.watchdogAt > m.now && wake > m.watchdogAt {
+			wake = m.watchdogAt
+		}
+		if wake > m.now && wake != sim.Never {
 			m.FastForwarded.Add(wake - m.now)
 			m.now = wake
 		}
@@ -515,15 +616,24 @@ func (m *Machine) step() {
 // deadlock watchdog trips.
 func (m *Machine) Run() int64 {
 	start := m.now
+	if m.pool != nil {
+		defer m.pool.Stop() // park the workers between runs (and on panic)
+	}
+	// Gate on the CPUs, not the runners: a runner reports Done as soon as
+	// the RefDone sentinel is fetched, but the CPU may still owe its
+	// coalesced trailing compute cycles.
 	active := func() bool {
-		for _, r := range m.runners {
-			if r != nil && !r.Done() {
+		for i, r := range m.runners {
+			if r != nil && !m.CPUs[i].Done() {
 				return true
 			}
 		}
 		return false
 	}
 	lastRefs, lastAt := int64(-1), m.now
+	if m.p.DeadlockCycles > 0 {
+		m.watchdogAt = lastAt + m.p.DeadlockCycles
+	}
 	for active() {
 		m.step()
 		if m.p.DeadlockCycles > 0 && m.now-lastAt >= m.p.DeadlockCycles {
@@ -533,6 +643,7 @@ func (m *Machine) Run() int64 {
 					m.p.DeadlockCycles, m.now, m.dumpState()))
 			}
 			lastRefs, lastAt = refs, m.now
+			m.watchdogAt = lastAt + m.p.DeadlockCycles
 		}
 	}
 	end := int64(0)

@@ -1,0 +1,90 @@
+package core
+
+// Station-parallel cycle loop (Config.ParallelStations).
+//
+// Within one cycle the stations are independent: a station's processors,
+// bus, memory module and network cache read and write only station-local
+// state, and every cross-station effect travels through the ring
+// interfaces with at least one cycle of ring latency — the conservative
+// lookahead. stepParallel exploits that by splitting the cycle in two:
+//
+//	phase 1  all stations tick concurrently, one shard each, preserving
+//	         the intra-station component order (CPUs, bus, memory, NC);
+//	phase 2  after the pool barrier, ring interfaces, rings and the IRI
+//	         observation run serially in the existing deterministic order.
+//
+// The tick order any component can observe is exactly the serial order:
+// a phase-1 component's visible state depends only on earlier components
+// of its own station (cross-station state is not reachable in phase 1),
+// and phase 2 is the serial code verbatim. The equivalence test suite
+// checks bit-identity against both serial loops on every scenario family.
+//
+// Ring interfaces stay in phase 2 because StationRI.Tick releases flow
+// credits owned by the packet's *source* station — a cross-station write.
+// The barrier controller and FirstTouch page placement are the only other
+// cross-station writers reachable from phase 1; arrivals are buffered per
+// station and merged in station order (processor ids are station-major,
+// so the merge reproduces the serial arrival order exactly), and
+// FirstTouch placement falls back to the scheduled serial loop.
+
+// tickStation runs the gated phase-1 ticks for one station and reports how
+// many components ticked. It runs on a pool worker; everything it touches
+// is station s state.
+func (m *Machine) tickStation(s int, now int64) int {
+	ticked := 0
+	for _, c := range m.stationCPUs[s] {
+		if c.NextWork(now) <= now {
+			c.Tick(now)
+			ticked++
+		}
+	}
+	if b := m.Buses[s]; b.NextWork(now) <= now {
+		b.Tick(now)
+		ticked++
+	}
+	if mem := m.Mems[s]; mem.NextWork(now) <= now {
+		mem.Tick(now)
+		ticked++
+	}
+	if nc := m.NCs[s]; nc.NextWork(now) <= now {
+		nc.Tick(now)
+		ticked++
+	}
+	return ticked
+}
+
+// stepParallel is the two-phase cycle. Like stepScheduled it returns the
+// number of components ticked; 0 lets the run loop fast-forward.
+func (m *Machine) stepParallel() int {
+	now := m.now
+	m.fireBarriers()
+	m.inParallelPhase = true
+	ticked := m.pool.Cycle(now)
+	m.inParallelPhase = false
+	m.flushParallelArrivals(now)
+	for _, ri := range m.RIs {
+		if ri.NextWork(now) <= now {
+			ri.Tick(now)
+			ticked++
+		}
+	}
+	for _, lr := range m.Locals {
+		if lr.NextWork(now) <= now {
+			lr.Tick(now)
+			ticked++
+		}
+	}
+	if m.Central != nil {
+		if m.Central.NextWork(now) <= now {
+			m.Central.Tick(now)
+			ticked++
+		}
+	}
+	if now&31 == 0 {
+		for _, iri := range m.IRIs {
+			iri.ObserveAt(now)
+		}
+	}
+	m.now++
+	return ticked
+}

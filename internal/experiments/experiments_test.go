@@ -61,7 +61,7 @@ func TestSpeedupMonotoneOnKernel(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long")
 	}
-	pts, err := Speedup(core.DefaultConfig(), "lu-contig", 96, []int{1, 4, 16})
+	pts, err := Speedup(core.DefaultConfig(), "lu-contig", 96, []int{1, 4, 16}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -24,45 +24,51 @@ type RunResult struct {
 }
 
 // runOne builds a fresh machine, runs the named workload and verifies both
-// the computation's result and the coherence invariants.
-func runOne(cfg core.Config, name string, nprocs, size int) (RunResult, error) {
+// the computation's result and the coherence invariants. Errors carry the
+// full run coordinates — workload, P, size, loop mode, sweep workers — so
+// a failing sweep point is reproducible from the message alone.
+func runOne(cfg core.Config, name string, nprocs, size, workers int) (RunResult, error) {
+	fail := func(err error) (RunResult, error) {
+		return RunResult{}, fmt.Errorf("%s (p=%d size=%d loop=%s workers=%d): %w",
+			name, nprocs, size, cfg.LoopName(), workers, err)
+	}
 	m, err := core.New(cfg)
 	if err != nil {
-		return RunResult{}, err
+		return fail(err)
 	}
 	inst, err := workloads.Build(name, m, nprocs, size)
 	if err != nil {
-		return RunResult{}, err
+		return fail(err)
 	}
 	m.Load(inst.Progs)
 	cycles := m.Run()
 	if err := inst.Check(); err != nil {
-		return RunResult{}, fmt.Errorf("%s (p=%d): %w", name, nprocs, err)
+		return fail(err)
 	}
 	if err := m.CheckCoherence(); err != nil {
-		return RunResult{}, fmt.Errorf("%s (p=%d): %w", name, nprocs, err)
+		return fail(err)
 	}
 	return RunResult{Workload: name, Procs: nprocs, Cycles: cycles, Results: m.Results()}, nil
 }
 
 // Speedup measures the parallel speedup of one workload over the given
 // processor counts (Figures 13 and 14): T(1)/T(P) over the parallel
-// section, as in §4.3.
-func Speedup(cfg core.Config, name string, size int, procs []int) ([]SpeedupPoint, error) {
+// section, as in §4.3. The points are independent simulations and run on
+// up to workers goroutines (see parMap; 1 means serial, 0 GOMAXPROCS).
+func Speedup(cfg core.Config, name string, size int, procs []int, workers int) ([]SpeedupPoint, error) {
+	if len(procs) == 0 || procs[0] != 1 {
+		return nil, fmt.Errorf("speedup: processor counts must start at 1, got %v", procs)
+	}
+	runs, err := parMap(workers, len(procs), func(i int) (RunResult, error) {
+		return runOne(cfg, name, procs[i], size, workers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	t1 := runs[0].Cycles
 	var out []SpeedupPoint
-	var t1 int64
-	for _, p := range procs {
-		r, err := runOne(cfg, name, p, size)
-		if err != nil {
-			return nil, err
-		}
-		if t1 == 0 {
-			if p != 1 {
-				return nil, fmt.Errorf("speedup: processor counts must start at 1, got %d", p)
-			}
-			t1 = r.Cycles
-		}
-		out = append(out, SpeedupPoint{Procs: p, Cycles: r.Cycles, Speedup: float64(t1) / float64(r.Cycles)})
+	for i, p := range procs {
+		out = append(out, SpeedupPoint{Procs: p, Cycles: runs[i].Cycles, Speedup: float64(t1) / float64(runs[i].Cycles)})
 	}
 	return out, nil
 }
@@ -83,18 +89,14 @@ func SpeedupSizes() map[string]int {
 
 // NCFigures runs the six workloads of Figures 15-18 on the full machine
 // and returns their results; the NC hit/combining rates, path utilizations
-// and ring interface delays all derive from these runs.
-func NCFigures(cfg core.Config, nprocs int) ([]RunResult, error) {
+// and ring interface delays all derive from these runs. The workloads run
+// concurrently on up to workers goroutines, in deterministic order.
+func NCFigures(cfg core.Config, nprocs, workers int) ([]RunResult, error) {
 	sizes := SpeedupSizes()
-	var out []RunResult
-	for _, name := range workloads.NCWorkloads() {
-		r, err := runOne(cfg, name, nprocs, sizes[name])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	names := workloads.NCWorkloads()
+	return parMap(workers, len(names), func(i int) (RunResult, error) {
+		return runOne(cfg, names[i], nprocs, sizes[names[i]], workers)
+	})
 }
 
 // PrintFig15 renders the NC hit rate decomposition (Figure 15).
@@ -160,25 +162,23 @@ type Table3Row struct {
 // caller should pass a configuration with a small network cache relative
 // to the working set (the paper's rates are per its 4 MB NC; EXPERIMENTS.md
 // records both settings).
-func Table3(cfg core.Config, nprocs int) ([]Table3Row, error) {
+func Table3(cfg core.Config, nprocs, workers int) ([]Table3Row, error) {
 	sizes := SpeedupSizes()
 	names := []string{"cholesky", "fmm", "ocean", "radiosity", "radix", "lu-contig", "water-nsq"}
-	var rows []Table3Row
-	for _, name := range names {
-		r, err := runOne(cfg, name, nprocs, sizes[name])
+	return parMap(workers, len(names), func(i int) (Table3Row, error) {
+		r, err := runOne(cfg, names[i], nprocs, sizes[names[i]], workers)
 		if err != nil {
-			return nil, err
+			return Table3Row{}, err
 		}
 		nc := r.Results.NC
-		rows = append(rows, Table3Row{
-			Workload:     name,
+		return Table3Row{
+			Workload:     names[i],
 			FalseRemotes: nc.FalseRemotes,
 			Requests:     nc.Requests,
 			Rate:         100 * nc.FalseRemoteRate(),
 			SpecialWr:    nc.SpecialWrReqs,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // PrintTable3 renders the false-remote-request rates.
@@ -204,24 +204,21 @@ func (a AblationResult) Delta() float64 {
 }
 
 // AblationSCLocking measures the cost of the sequential-consistency
-// locking mechanism (§2.3 reports only a 2% overall difference).
-func AblationSCLocking(cfg core.Config, nprocs int, names []string) ([]AblationResult, error) {
+// locking mechanism (§2.3 reports only a 2% overall difference). The
+// 2*len(names) on/off points fan out across the worker pool.
+func AblationSCLocking(cfg core.Config, nprocs int, names []string, workers int) ([]AblationResult, error) {
 	sizes := SpeedupSizes()
+	runs, err := parMap(workers, 2*len(names), func(i int) (RunResult, error) {
+		c := cfg
+		c.Params.SCLocking = i%2 == 0
+		return runOne(c, names[i/2], nprocs, sizes[names[i/2]], workers)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []AblationResult
-	for _, name := range names {
-		on := cfg
-		on.Params.SCLocking = true
-		roff := cfg
-		roff.Params.SCLocking = false
-		a, err := runOne(on, name, nprocs, sizes[name])
-		if err != nil {
-			return nil, err
-		}
-		b, err := runOne(roff, name, nprocs, sizes[name])
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, AblationResult{Workload: name, OnCycles: a.Cycles, OffCycles: b.Cycles})
+	for i, name := range names {
+		out = append(out, AblationResult{Workload: name, OnCycles: runs[2*i].Cycles, OffCycles: runs[2*i+1].Cycles})
 	}
 	return out, nil
 }

@@ -13,7 +13,7 @@ func TestSpeedupShape(t *testing.T) {
 	}
 	cfg := core.DefaultConfig()
 	for _, wl := range []string{"barnes", "ocean", "lu-contig", "radix"} {
-		pts, err := Speedup(cfg, wl, SpeedupSizes()[wl], []int{1, 16, 64})
+		pts, err := Speedup(cfg, wl, SpeedupSizes()[wl], []int{1, 16, 64}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

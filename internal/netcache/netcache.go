@@ -5,6 +5,11 @@
 // Figure 6 with states NotIn, LV, LI, GV and GI plus locked versions — and
 // the four NC effects measured in §4.5: migration, caching, combining and
 // coherence localization, plus the false-remote-request recovery of §4.6.
+//
+// Concurrency contract: like the memory module, the NC is station-local —
+// Tick reads its own input queue and writes its own outbound bus queue
+// only — so it ticks on its station's phase-1 worker of the
+// station-parallel cycle loop.
 package netcache
 
 import (

@@ -65,6 +65,11 @@ type CPU struct {
 	curLine uint64
 	started bool
 
+	// A fetched reference whose coalesced compute prefix (Ref.Pre) is
+	// still being burned; executed when thinkUntil arrives.
+	stash    Ref
+	hasStash bool
+
 	// HomeOf maps a line to its home station (page placement); wired by core.
 	HomeOf func(line uint64) int
 	// OnBarrier is invoked when the CPU arrives at a barrier; core releases
@@ -107,6 +112,7 @@ func (c *CPU) SetRunner(r *Runner) {
 	c.runner = r
 	c.st = sThink
 	c.thinkUntil = 0
+	c.hasStash = false
 }
 
 // L2 exposes the secondary cache for the invariant checker and tests.
@@ -195,7 +201,21 @@ func (c *CPU) Tick(now int64) {
 		if now < c.thinkUntil {
 			return
 		}
-		ref := c.runner.Next(c.lastResult)
+		var ref Ref
+		if c.hasStash {
+			ref, c.hasStash = c.stash, false
+		} else {
+			ref = c.runner.Next(c.lastResult)
+		}
+		if ref.Pre > 0 {
+			// Burn the coalesced compute prefix first; the reference itself
+			// executes at now+Pre, exactly when the uncoalesced RefCompute
+			// sequence would have reached it.
+			c.stash, c.hasStash = ref, true
+			c.stash.Pre = 0
+			c.thinkUntil = now + ref.Pre
+			return
+		}
 		c.process(ref, now)
 	}
 }

@@ -23,7 +23,9 @@ const (
 	RefTAS
 	// RefFetchAdd atomically adds Data to the line, returning the old value.
 	RefFetchAdd
-	// RefCompute consumes N cycles of pure computation.
+	// RefCompute consumes N cycles of pure computation. Ctx.Compute no
+	// longer emits it (compute bursts coalesce into Ref.Pre); the kind
+	// remains for back ends that synthesize references directly.
 	RefCompute
 	// RefBarrier blocks until all participating processors arrive.
 	RefBarrier
@@ -48,6 +50,13 @@ type Ref struct {
 	Data  uint64
 	N     int64 // compute cycles
 	Phase uint8
+
+	// Pre is the number of compute cycles the processor must burn before
+	// this reference executes. Consecutive Ctx.Compute calls coalesce into
+	// the Pre of the next blocking reference, so a think-then-access pair
+	// costs one channel round-trip instead of two; the timing is identical
+	// because a compute burst is pure elapsed processor time.
+	Pre int64
 }
 
 // Program is the workload body executed by one simulated processor.
@@ -61,8 +70,9 @@ type Ctx struct {
 	ID     int
 	NProcs int
 
-	refs   chan Ref
-	resume chan uint64
+	refs    chan Ref
+	resume  chan uint64
+	pending int64 // coalesced compute cycles awaiting the next reference
 }
 
 func newCtx(id, nprocs int) *Ctx {
@@ -70,6 +80,7 @@ func newCtx(id, nprocs int) *Ctx {
 }
 
 func (c *Ctx) do(r Ref) uint64 {
+	r.Pre, c.pending = c.pending, 0
 	c.refs <- r
 	return <-c.resume
 }
@@ -88,12 +99,17 @@ func (c *Ctx) FetchAdd(addr uint64, delta uint64) uint64 {
 	return c.do(Ref{Kind: RefFetchAdd, Addr: addr, Data: delta})
 }
 
-// Compute consumes n cycles of processor time without memory traffic.
+// Compute consumes n cycles of processor time without memory traffic. The
+// cycles are banked and attached to the next blocking reference (Ref.Pre)
+// rather than handed over immediately, so runs of Compute calls — the
+// spin-lock backoff path hits this constantly — cost a single channel
+// round-trip. A trailing Compute with no following reference is carried by
+// the RefDone sentinel.
 func (c *Ctx) Compute(n int64) {
 	if n <= 0 {
 		return
 	}
-	c.do(Ref{Kind: RefCompute, N: n})
+	c.pending += n
 }
 
 // Barrier blocks until every participating processor has arrived. The
@@ -170,7 +186,9 @@ func (r *Runner) Next(prev uint64) Ref {
 		r.started = true
 		go func() {
 			r.prog(r.ctx)
-			r.ctx.refs <- Ref{Kind: RefDone}
+			// Carry any trailing Compute cycles so the completion timestamp
+			// matches the uncoalesced execution.
+			r.ctx.refs <- Ref{Kind: RefDone, Pre: r.ctx.pending}
 		}()
 	} else {
 		r.ctx.resume <- prev

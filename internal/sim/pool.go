@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ShardPool runs a fixed set of independent shards on persistent worker
+// goroutines, once per Cycle call. It is the execution engine of the
+// station-parallel cycle loop: each shard is one station, the shard
+// function ticks that station's components, and Cycle is a full barrier —
+// when it returns, every shard has finished and its writes are visible to
+// the caller (the WaitGroup edge establishes the happens-before).
+//
+// The shard-to-worker assignment is a fixed block partition, so a shard is
+// always ticked by the same goroutine while the pool is running. Workers
+// launch lazily on the first Cycle and park in Stop, making the pool safe
+// to embed in machines that are built in bulk but run selectively.
+type ShardPool struct {
+	shards  int
+	workers int
+	run     func(shard int, now int64) int
+
+	start   []chan int64
+	wg      sync.WaitGroup
+	counts  []int
+	running bool
+}
+
+// NewShardPool builds a pool of min(workers, shards) workers; workers <= 0
+// means GOMAXPROCS. No goroutines start until the first Cycle.
+func NewShardPool(workers, shards int, run func(shard int, now int64) int) *ShardPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shards {
+		workers = shards
+	}
+	return &ShardPool{shards: shards, workers: workers, run: run}
+}
+
+// Workers returns the worker count the pool settled on.
+func (p *ShardPool) Workers() int { return p.workers }
+
+func (p *ShardPool) launch() {
+	p.start = make([]chan int64, p.workers)
+	p.counts = make([]int, p.workers)
+	for w := 0; w < p.workers; w++ {
+		ch := make(chan int64, 1)
+		p.start[w] = ch
+		lo := w * p.shards / p.workers
+		hi := (w + 1) * p.shards / p.workers
+		count := &p.counts[w]
+		go func() {
+			for now := range ch {
+				n := 0
+				for s := lo; s < hi; s++ {
+					n += p.run(s, now)
+				}
+				*count = n
+				p.wg.Done()
+			}
+		}()
+	}
+	p.running = true
+}
+
+// Cycle runs every shard once at cycle now and returns the summed shard
+// results. It blocks until all shards complete.
+func (p *ShardPool) Cycle(now int64) int {
+	if !p.running {
+		p.launch()
+	}
+	p.wg.Add(p.workers)
+	for _, ch := range p.start {
+		ch <- now
+	}
+	p.wg.Wait()
+	total := 0
+	for _, n := range p.counts {
+		total += n
+	}
+	return total
+}
+
+// Stop parks the pool: worker goroutines exit and the next Cycle relaunches
+// them. Must not be called concurrently with Cycle.
+func (p *ShardPool) Stop() {
+	if !p.running {
+		return
+	}
+	for _, ch := range p.start {
+		close(ch)
+	}
+	p.start, p.counts, p.running = nil, nil, false
+}

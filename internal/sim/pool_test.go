@@ -1,0 +1,43 @@
+package sim
+
+import "testing"
+
+func TestShardPoolRunsEveryShard(t *testing.T) {
+	var sums [8]int64
+	p := NewShardPool(3, 8, func(s int, now int64) int {
+		sums[s] += now
+		return s
+	})
+	if p.Workers() != 3 {
+		t.Fatalf("workers = %d, want 3", p.Workers())
+	}
+	if got := p.Cycle(10); got != 28 {
+		t.Errorf("Cycle(10) = %d, want 28", got)
+	}
+	if got := p.Cycle(5); got != 28 {
+		t.Errorf("Cycle(5) = %d, want 28", got)
+	}
+	p.Stop()
+	// The pool relaunches after Stop.
+	if got := p.Cycle(1); got != 28 {
+		t.Errorf("Cycle(1) after Stop = %d, want 28", got)
+	}
+	p.Stop()
+	p.Stop() // idempotent
+	for s, v := range sums {
+		if v != 16 {
+			t.Errorf("shard %d saw cycle sum %d, want 16", s, v)
+		}
+	}
+}
+
+func TestShardPoolClampsWorkers(t *testing.T) {
+	p := NewShardPool(64, 2, func(int, int64) int { return 1 })
+	if p.Workers() != 2 {
+		t.Fatalf("workers = %d, want clamp to 2 shards", p.Workers())
+	}
+	if got := p.Cycle(0); got != 2 {
+		t.Errorf("Cycle = %d, want 2", got)
+	}
+	p.Stop()
+}

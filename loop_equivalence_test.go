@@ -14,10 +14,11 @@ import (
 	"numachine/internal/workloads"
 )
 
-func runWorkload(t *testing.T, name string, procs, size int, naive bool) (int64, core.Results) {
+func runWorkload(t *testing.T, name string, procs, size int, loop string) (int64, core.Results) {
 	t.Helper()
 	cfg := benchConfig()
-	cfg.NaiveLoop = naive
+	cfg.NaiveLoop = loop == "naive"
+	cfg.ParallelStations = loop == "parallel"
 	m, err := core.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +30,7 @@ func runWorkload(t *testing.T, name string, procs, size int, naive bool) (int64,
 	m.Load(inst.Progs)
 	cycles := m.Run()
 	if err := inst.Check(); err != nil {
-		t.Fatalf("%s (naive=%v): %v", name, naive, err)
+		t.Fatalf("%s (%s): %v", name, loop, err)
 	}
 	return cycles, m.Results()
 }
@@ -49,13 +50,15 @@ func TestWorkloadLoopEquivalence(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			nCycles, nRes := runWorkload(t, c.name, c.procs, c.size, true)
-			sCycles, sRes := runWorkload(t, c.name, c.procs, c.size, false)
-			if nCycles != sCycles {
-				t.Errorf("cycle count: naive=%d scheduler=%d", nCycles, sCycles)
-			}
-			if !reflect.DeepEqual(nRes, sRes) {
-				t.Errorf("results diverge:\nnaive:     %+v\nscheduler: %+v", nRes, sRes)
+			nCycles, nRes := runWorkload(t, c.name, c.procs, c.size, "naive")
+			for _, loop := range []string{"scheduler", "parallel"} {
+				cycles, res := runWorkload(t, c.name, c.procs, c.size, loop)
+				if nCycles != cycles {
+					t.Errorf("cycle count: naive=%d %s=%d", nCycles, loop, cycles)
+				}
+				if !reflect.DeepEqual(nRes, res) {
+					t.Errorf("results diverge:\nnaive: %+v\n%s: %+v", nRes, loop, res)
+				}
 			}
 		})
 	}
