@@ -22,6 +22,10 @@
 // serial; output is byte-identical either way), and -parallel enables the
 // station-parallel cycle loop inside each simulation (bit-identical
 // results, enforced by the equivalence suite).
+//
+// -trace-dir DIR additionally captures a Chrome/Perfetto trace of every
+// sweep point as DIR/<workload>-p<procs>.json (best effort: sweep
+// families revisiting a coordinate overwrite the earlier file).
 package main
 
 import (
@@ -41,6 +45,8 @@ func main() {
 	scale := flag.Int("scale", 1, "problem size multiplier for speedup sweeps")
 	workers := flag.Int("workers", 1, "goroutines for independent sweep points (0 = GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "station-parallel cycle loop inside each simulation")
+	traceDir := flag.String("trace-dir", "", "capture a Perfetto trace per sweep point into this directory")
+	traceEvt := flag.Int("trace-events", 0, "per-component trace ring-buffer capacity (0 = default)")
 	flag.Parse()
 	what := flag.Arg(0)
 	if what == "" {
@@ -54,6 +60,13 @@ func main() {
 			fatal(err)
 		}
 		procs = append(procs, v)
+	}
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fatal(err)
+		}
+		experiments.SetTraceCapture(*traceDir, *traceEvt)
 	}
 
 	cfg := core.DefaultConfig()

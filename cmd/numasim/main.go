@@ -6,6 +6,8 @@
 //
 //	numasim -workload radix -procs 64 -size 16384
 //	numasim -workload barnes -procs 16 -stations 2 -rings 2
+//	numasim -workload fft -procs 8 -trace trace.json   # Perfetto trace
+//	numasim -workload radix -procs 64 -http :8080      # live metrics
 //	numasim -list
 package main
 
@@ -15,7 +17,9 @@ import (
 	"os"
 
 	"numachine/internal/core"
+	"numachine/internal/telemetry"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 	"numachine/internal/workloads"
 )
 
@@ -34,6 +38,12 @@ func main() {
 		par      = flag.Bool("parallel", false, "station-parallel cycle loop (bit-identical; needs multiple cores to pay off)")
 		naive    = flag.Bool("naive", false, "reference per-cycle loop instead of the event-aware scheduler")
 		list     = flag.Bool("list", false, "list available workloads and exit")
+
+		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev)")
+		traceEvt = flag.Int("trace-events", trace.DefaultSinkEvents, "per-component trace ring-buffer capacity (oldest events drop first)")
+		httpAddr = flag.String("http", "", "serve live metrics on this address (e.g. :8080)")
+		sample   = flag.Int64("sample", 50_000, "cycles between live-metrics snapshots")
+		hold     = flag.Bool("hold", false, "with -http: keep serving after the run completes (ctrl-C to exit)")
 	)
 	flag.Parse()
 
@@ -64,7 +74,33 @@ func main() {
 		fatal(err)
 	}
 	m.Load(inst.Progs)
+
+	loop := "scheduled"
+	if *par {
+		loop = "parallel"
+	} else if *naive {
+		loop = "naive"
+	}
+	if *traceOut != "" {
+		m.EnableTrace(*traceEvt)
+	}
+	var srv *telemetry.Server
+	if *httpAddr != "" {
+		srv = telemetry.NewServer()
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("live metrics     http://%s/\n", addr)
+		m.SetSampler(*sample, func(m *core.Machine) {
+			srv.Publish(telemetry.SnapshotOf(m, inst.Name, loop, false))
+		})
+	}
+
 	cycles := m.Run()
+	if srv != nil {
+		srv.Publish(telemetry.SnapshotOf(m, inst.Name, loop, true))
+	}
 	if err := inst.Check(); err != nil {
 		fatal(fmt.Errorf("result check failed: %w", err))
 	}
@@ -92,6 +128,27 @@ func main() {
 		r.RISendDelay, r.RIDownSink, r.RIDownNonsink, r.IRIUpDelay)
 	fmt.Printf("memory           %d transactions, %d invalidation multicasts, %d NAKs, %d optimistic acks\n",
 		r.Mem.Transactions, r.Mem.InvalidatesSent, r.Mem.NAKs, r.Mem.OptimisticAcks)
+
+	if *traceOut != "" {
+		tr := m.Tracer()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		n := len(tr.Events())
+		fmt.Printf("trace            %s: %d events (%d dropped to ring-buffer wrap)\n",
+			*traceOut, n, tr.Dropped())
+	}
+	if srv != nil && *hold {
+		fmt.Println("holding for live metrics; interrupt to exit")
+		select {}
+	}
 }
 
 func fatal(err error) {

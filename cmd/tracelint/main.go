@@ -1,0 +1,38 @@
+// Command tracelint schema-checks Chrome/Perfetto trace-event JSON files
+// produced by numasim -trace (or the experiments -trace-dir capture). It
+// verifies each file decodes and every event carries the fields its phase
+// requires, printing the event count per file. Exit status 1 on the first
+// invalid file. CI runs it against the trace artifact of a small traced
+// simulation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"numachine/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracelint FILE...")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := trace.ValidateChrome(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		fmt.Printf("%s: %d events ok\n", path, n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracelint:", err)
+	os.Exit(1)
+}

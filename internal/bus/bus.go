@@ -20,6 +20,7 @@ import (
 	"numachine/internal/msg"
 	"numachine/internal/sim"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 )
 
 // Module is anything attached to the station bus.
@@ -40,13 +41,16 @@ type Bus struct {
 
 	busyUntil int64
 	inFlight  *msg.Message
-	rr        int // round-robin arbitration pointer
+	rr        int   // round-robin arbitration pointer
 	utilAt    int64 // first cycle not yet accounted in Util
 
 	// Util reproduces the bus utilization measurement of Figure 17.
 	Util monitor.Utilization
 	// Transfers counts completed bus transactions.
 	Transfers monitor.Counter
+
+	// Tr is the structured-event trace sink (nil when tracing is off).
+	Tr *trace.Sink
 }
 
 // New creates the bus for one station. Modules must be registered with
@@ -135,12 +139,14 @@ func (b *Bus) Tick(now int64) {
 		b.inFlight = m
 		b.rr = (idx + 1) % n
 		b.Transfers.Inc()
+		b.Tr.Emit(now, trace.KindBusGrant, m.Line, m.TxnID, int32(m.Type), int32(cost))
 		return
 	}
 }
 
 // deliver routes a completed transfer to its destination module(s).
 func (b *Bus) deliver(m *msg.Message, now int64) {
+	b.Tr.Emit(now, trace.KindBusDeliver, m.Line, m.TxnID, int32(m.Type), int32(m.DstMod))
 	if m.DstMod == b.g.ModRI() {
 		// Network-bound: hand to the ring interface untouched; the
 		// processor multicasts below apply only at the final station.

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"numachine/internal/cache"
+	"numachine/internal/proc"
+	"numachine/internal/topo"
+)
+
+// checkMachine builds a machine, runs the given per-processor programs to
+// completion, and verifies the machine is clean before the test corrupts
+// it. progs entries beyond the provided map are idle processors.
+func checkMachine(t *testing.T, g topo.Geometry, active map[int]proc.Program, setup func(m *Machine)) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Geom = g
+	cfg.Params.DeadlockCycles = 2_000_000
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(m)
+	progs := make([]proc.Program, g.Procs())
+	for i := range progs {
+		if p, ok := active[i]; ok {
+			progs[i] = p
+		} else {
+			progs[i] = func(c *proc.Ctx) {}
+		}
+	}
+	m.Load(progs)
+	m.Run()
+	if err := m.CheckCoherence(); err != nil {
+		t.Fatalf("machine dirty before corruption: %v", err)
+	}
+	return m
+}
+
+// TestCheckCoherenceDetectsCorruption injects each class of protocol
+// violation directly into the caches of a cleanly quiesced machine and
+// asserts CheckCoherence reports the specific invariant that broke. This
+// is the failure-path coverage for the checker itself — the rest of the
+// suite only ever sees it succeed.
+func TestCheckCoherenceDetectsCorruption(t *testing.T) {
+	two := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 2, Rings: 1}
+	three := topo.Geometry{ProcsPerStation: 2, StationsPerRing: 3, Rings: 1}
+
+	t.Run("two dirty copies", func(t *testing.T) {
+		var line uint64
+		m := checkMachine(t, two,
+			map[int]proc.Program{0: func(c *proc.Ctx) { c.Read(line) }},
+			func(m *Machine) { line = m.AllocAt(0, 64) })
+		// Forge a second and third dirty copy: the single-writer invariant
+		// trips before any state-specific check.
+		m.CPUs[0].L2().Insert(line, cache.Dirty, 1)
+		m.CPUs[2].L2().Insert(line, cache.Dirty, 2)
+		wantError(t, m, "dirty copies")
+	})
+
+	t.Run("stale shared copy", func(t *testing.T) {
+		var line uint64
+		m := checkMachine(t, two,
+			map[int]proc.Program{0: func(c *proc.Ctx) { c.Read(line) }},
+			func(m *Machine) { line = m.AllocAt(0, 64) })
+		// The cached value silently diverges from the home memory.
+		m.CPUs[0].L2().Probe(line).Data = 0xdead
+		wantError(t, m, "!= memory")
+	})
+
+	t.Run("GV mask omits a holder station", func(t *testing.T) {
+		var line uint64
+		m := checkMachine(t, three,
+			// A station-1 processor pulls the line remote: home goes GV with
+			// stations {0,1} in the filter mask.
+			map[int]proc.Program{2: func(c *proc.Ctx) { c.Read(line) }},
+			func(m *Machine) { line = m.AllocAt(0, 64) })
+		// Forge a copy on station 2, which the directory never saw. The data
+		// matches memory so only the mask invariant can trip.
+		_, _, _, _, memData := m.Mems[0].Peek(line)
+		m.CPUs[4].L2().Insert(line, cache.Shared, memData)
+		wantError(t, m, "GV mask omits station 2")
+	})
+
+	t.Run("processor mask omits a local holder", func(t *testing.T) {
+		var line uint64
+		m := checkMachine(t, two,
+			map[int]proc.Program{0: func(c *proc.Ctx) { c.Read(line) }},
+			func(m *Machine) { line = m.AllocAt(0, 64) })
+		// Forge a copy in the other home-station processor; the per-station
+		// processor mask only names processor 0.
+		_, _, _, _, memData := m.Mems[0].Peek(line)
+		m.CPUs[1].L2().Insert(line, cache.Shared, memData)
+		wantError(t, m, "processor mask omits local holder 1")
+	})
+
+	t.Run("LV with a remote copy", func(t *testing.T) {
+		var line uint64
+		m := checkMachine(t, two,
+			map[int]proc.Program{0: func(c *proc.Ctx) { c.Read(line) }},
+			func(m *Machine) { line = m.AllocAt(0, 64) })
+		// Home thinks the line never left the station (LV), but a remote
+		// processor holds a copy.
+		_, _, _, _, memData := m.Mems[0].Peek(line)
+		m.CPUs[2].L2().Insert(line, cache.Shared, memData)
+		wantError(t, m, "LV but proc 2 on station 1 holds a copy")
+	})
+}
+
+// wantError asserts CheckCoherence fails mentioning want.
+func wantError(t *testing.T, m *Machine, want string) {
+	t.Helper()
+	err := m.CheckCoherence()
+	if err == nil {
+		t.Fatalf("CheckCoherence passed on corrupted state, want error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("CheckCoherence error = %q, want substring %q", err, want)
+	}
+}

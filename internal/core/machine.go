@@ -17,6 +17,7 @@ import (
 	"numachine/internal/ring"
 	"numachine/internal/sim"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 )
 
 // Placement selects the physical page placement policy.
@@ -136,6 +137,16 @@ type Machine struct {
 
 	// FastForwarded counts cycles skipped by quiescence fast-forwarding.
 	FastForwarded monitor.Counter
+
+	// tracer is the structured-event tracer (nil when disabled; see
+	// EnableTrace in trace.go).
+	tracer *trace.Tracer
+
+	// Live-metrics sampler (SetSampler): onSample runs at a serial point
+	// of the run loop every sampleEvery cycles.
+	sampleEvery int64
+	sampleAt    int64
+	onSample    func(*Machine)
 }
 
 // New builds a machine from cfg.
@@ -636,6 +647,10 @@ func (m *Machine) Run() int64 {
 	}
 	for active() {
 		m.step()
+		if m.onSample != nil && m.now >= m.sampleAt {
+			m.onSample(m)
+			m.sampleAt = m.now + m.sampleEvery
+		}
 		if m.p.DeadlockCycles > 0 && m.now-lastAt >= m.p.DeadlockCycles {
 			refs := m.totalRefs()
 			if refs == lastRefs {

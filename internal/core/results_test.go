@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestNCResultsZeroDenominator pins the zero-request convention of every
+// NCResults rate helper: a machine that issued no NC requests (e.g. a
+// single-station run, or a snapshot taken before any remote access)
+// must report 0 for every rate, never NaN or Inf — the experiment
+// printers and the telemetry JSON encoder both feed these straight to
+// the user.
+func TestNCResultsZeroDenominator(t *testing.T) {
+	// Non-zero numerator fields make a division-by-zero visible were a
+	// guard ever dropped: 3/0 is +Inf, not the defined 0.
+	n := NCResults{HitsMigration: 1, HitsCaching: 1, LocalInterv: 1,
+		Combined: 2, FalseRemotes: 3}
+	rates := map[string]float64{
+		"HitRate":         n.HitRate(),
+		"MigrationRate":   n.MigrationRate(),
+		"CachingRate":     n.CachingRate(),
+		"CombiningRate":   n.CombiningRate(),
+		"FalseRemoteRate": n.FalseRemoteRate(),
+	}
+	for name, v := range rates {
+		if v != 0 {
+			t.Errorf("%s with 0 requests = %v, want 0", name, v)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s with 0 requests is %v", name, v)
+		}
+	}
+}
+
+// TestNCResultsRates checks each rate's definition on a hand-computed
+// example.
+func TestNCResultsRates(t *testing.T) {
+	n := NCResults{
+		Requests:      200,
+		HitsMigration: 40,
+		HitsCaching:   30,
+		LocalInterv:   10,
+		Combined:      16,
+		FalseRemotes:  2,
+	}
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"HitRate", n.HitRate(), 0.40},             // (40+30+10)/200
+		{"MigrationRate", n.MigrationRate(), 0.20}, // 40/200
+		{"CachingRate", n.CachingRate(), 0.20},     // (30+10)/200
+		{"CombiningRate", n.CombiningRate(), 0.08}, // 16/200
+		{"FalseRemoteRate", n.FalseRemoteRate(), 0.01},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-12 {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	// The decomposition of Figure 15 must be exact: hit = migration + caching.
+	if d := n.HitRate() - (n.MigrationRate() + n.CachingRate()); math.Abs(d) > 1e-12 {
+		t.Errorf("hit rate decomposition off by %v", d)
+	}
+}

@@ -3,10 +3,56 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"numachine/internal/core"
 	"numachine/internal/workloads"
 )
+
+// Trace capture for sweep points. Set once via SetTraceCapture before any
+// sweep starts (parMap runs points concurrently, so mutating these
+// mid-sweep would race); every subsequent runOne then records a trace and
+// writes <dir>/<workload>-p<procs>.json in Chrome trace-event format.
+// Sweep families that revisit the same (workload, procs) coordinate —
+// e.g. the ablation's locking on/off pair — overwrite the earlier file;
+// the capture is a best-effort diagnostic, not an archival record.
+var (
+	traceDir    string
+	traceEvents int
+)
+
+// SetTraceCapture enables per-sweep-point trace files under dir (disabled
+// when dir is empty). perComponent sizes each component's event ring
+// buffer (<=0 for the default).
+func SetTraceCapture(dir string, perComponent int) {
+	traceDir = dir
+	traceEvents = perComponent
+}
+
+// captureTrace writes the run's trace; capture failures are returned so a
+// misconfigured trace directory fails the sweep loudly rather than
+// silently producing no files. The write goes through a temp file and an
+// atomic rename: sweep points sharing a coordinate can finish
+// concurrently under -workers, and last-writer-wins must never leave a
+// torn file.
+func captureTrace(m *core.Machine, name string, nprocs int) error {
+	path := filepath.Join(traceDir, fmt.Sprintf("%s-p%d.json", name, nprocs))
+	f, err := os.CreateTemp(traceDir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if err := m.Tracer().WriteChrome(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}
 
 // SpeedupPoint is one point of a Figure 13/14 speedup curve.
 type SpeedupPoint struct {
@@ -41,12 +87,20 @@ func runOne(cfg core.Config, name string, nprocs, size, workers int) (RunResult,
 		return fail(err)
 	}
 	m.Load(inst.Progs)
+	if traceDir != "" {
+		m.EnableTrace(traceEvents)
+	}
 	cycles := m.Run()
 	if err := inst.Check(); err != nil {
 		return fail(err)
 	}
 	if err := m.CheckCoherence(); err != nil {
 		return fail(err)
+	}
+	if traceDir != "" {
+		if err := captureTrace(m, name, nprocs); err != nil {
+			return fail(err)
+		}
 	}
 	return RunResult{Workload: name, Procs: nprocs, Cycles: cycles, Results: m.Results()}, nil
 }

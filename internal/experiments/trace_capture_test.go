@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numachine/internal/core"
+	"numachine/internal/topo"
+	"numachine/internal/trace"
+)
+
+// TestTraceCapture drives the per-sweep-point capture end to end,
+// including the concurrent same-coordinate case the SC-locking ablation
+// produces: two workers finishing the same (workload, procs) point must
+// leave one complete, schema-valid trace file — never a torn one.
+func TestTraceCapture(t *testing.T) {
+	dir := t.TempDir()
+	SetTraceCapture(dir, 1<<12)
+	defer SetTraceCapture("", 0)
+
+	cfg := core.DefaultConfig()
+	cfg.Geom = topo.Geometry{ProcsPerStation: 2, StationsPerRing: 2, Rings: 1}
+	cfg.Params.L2Lines = 256
+	cfg.Params.NCLines = 512
+
+	// The ablation shape: same workload and processor count, one config
+	// knob flipped, both points racing on the same output path.
+	runs, err := parMap(2, 2, func(i int) (RunResult, error) {
+		c := cfg
+		c.Params.SCLocking = i%2 == 0
+		return runOne(c, "radix", 4, 512, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 || runs[0].Cycles == 0 || runs[1].Cycles == 0 {
+		t.Fatalf("runs incomplete: %+v", runs)
+	}
+
+	path := filepath.Join(dir, "radix-p4.json")
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("capture file missing: %v", err)
+	}
+	defer f.Close()
+	n, err := trace.ValidateChrome(f)
+	if err != nil {
+		t.Fatalf("captured trace invalid (torn write?): %v", err)
+	}
+	if n == 0 {
+		t.Fatal("captured trace has no events")
+	}
+
+	// No temp files may survive the renames.
+	leftovers, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leftovers) != 0 {
+		t.Errorf("temp files left behind: %v", leftovers)
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"numachine/internal/msg"
 	"numachine/internal/sim"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 )
 
 // DirState is the four-state line status kept in memory and network-cache
@@ -144,6 +145,9 @@ type Module struct {
 	// InitData seeds the DRAM value of untouched lines (tests use it).
 	InitData uint64
 
+	// Tr is the structured-event trace sink (nil when tracing is off).
+	Tr *trace.Sink
+
 	Stats Stats
 }
 
@@ -169,7 +173,10 @@ func New(g topo.Geometry, p sim.Params, station int) *Module {
 func (m *Module) BusOut() *sim.Queue[*msg.Message] { return m.outQ }
 
 // BusDeliver implements bus.Module: enqueue for in-order processing.
-func (m *Module) BusDeliver(x *msg.Message, now int64) { m.inQ.Push(x, now) }
+func (m *Module) BusDeliver(x *msg.Message, now int64) {
+	m.inQ.Push(x, now)
+	m.Tr.Emit(now, trace.KindQueueDepth, 0, 0, int32(m.inQ.Len()), 0)
+}
 
 // Idle reports whether the module has no queued or in-flight work.
 func (m *Module) Idle() bool { return m.inQ.Empty() && m.outQ.Empty() && m.staged == nil }
@@ -227,6 +234,7 @@ func (m *Module) Tick(now int64) {
 	if !ok {
 		return
 	}
+	m.Tr.Emit(now, trace.KindQueueDepth, 0, 0, int32(m.inQ.Len()), 0)
 	cost := m.p.MemDirCycles
 	switch x.Type {
 	case msg.IntervResp, msg.NetWBCopy, msg.NetData, msg.NetDataEx:
@@ -433,6 +441,13 @@ func (m *Module) handle(x *msg.Message, now int64) {
 	e := m.entry(x.Line)
 	m.recordHist(x.Type, e)
 	m.Stats.Transactions.Inc()
+	if m.Tr != nil {
+		st := int32(e.state)
+		if e.locked {
+			st |= 4
+		}
+		m.Tr.Emit(now, trace.KindMemTxn, x.Line, x.TxnID, int32(x.Type), st)
+	}
 	if m.p.TraceLine != 0 && x.Line == m.p.TraceLine {
 		defer func() {
 			fmt.Printf("%8d mem[%d] %-16s from st%d/mod%d req=%d -> %v locked=%v mask=%v procs=%04b data=%#x\n",

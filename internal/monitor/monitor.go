@@ -220,6 +220,11 @@ func (p *PhaseIDs) Set(proc int, phase uint8) { p.cur[proc] = phase }
 // Phase returns processor proc's current phase.
 func (p *PhaseIDs) Phase(proc int) uint8 { return p.cur[proc] }
 
+// Snapshot returns a copy of every processor's current phase register,
+// indexed by processor. Safe to call from any serial point; the telemetry
+// endpoint publishes it as the live phase view.
+func (p *PhaseIDs) Snapshot() []uint8 { return append([]uint8(nil), p.cur...) }
+
 // Attribute counts one transaction from proc against its current phase.
 func (p *PhaseIDs) Attribute(proc int) {
 	ph := p.cur[proc]

@@ -20,6 +20,7 @@ import (
 	"numachine/internal/msg"
 	"numachine/internal/sim"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 )
 
 // Alias the directory states; the NC uses the same four states as memory,
@@ -154,6 +155,9 @@ type Module struct {
 	// retryLines tracks locked lines with a scheduled retry.
 	retryLines []uint64
 
+	// Tr is the structured-event trace sink (nil when tracing is off).
+	Tr *trace.Sink
+
 	Stats Stats
 }
 
@@ -179,7 +183,10 @@ func New(g topo.Geometry, p sim.Params, station int) *Module {
 func (n *Module) BusOut() *sim.Queue[*msg.Message] { return n.outQ }
 
 // BusDeliver implements bus.Module.
-func (n *Module) BusDeliver(x *msg.Message, now int64) { n.inQ.Push(x, now) }
+func (n *Module) BusDeliver(x *msg.Message, now int64) {
+	n.inQ.Push(x, now)
+	n.Tr.Emit(now, trace.KindQueueDepth, 0, 0, int32(n.inQ.Len()), 0)
+}
 
 // Idle reports whether the module has no queued, in-flight or pending work.
 func (n *Module) Idle() bool {
@@ -296,6 +303,7 @@ func (n *Module) Tick(now int64) {
 	if !ok {
 		return
 	}
+	n.Tr.Emit(now, trace.KindQueueDepth, 0, 0, int32(n.inQ.Len()), 0)
 	cost := n.p.NCDirCycles
 	if x.Type.CarriesData() || x.Type == msg.LocalRead || x.Type == msg.LocalReadEx {
 		cost += n.p.NCDRAMCycles

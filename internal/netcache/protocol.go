@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"numachine/internal/msg"
+	"numachine/internal/trace"
 )
 
 func (n *Module) allProcs() uint16 { return 1<<uint(n.g.ProcsPerStation) - 1 }
@@ -26,6 +27,16 @@ func popcount(v uint16) int {
 }
 
 func (n *Module) handle(x *msg.Message, now int64) {
+	if n.Tr != nil {
+		st := int32(-1)
+		if e := n.lookup(x.Line); e != nil {
+			st = int32(e.state)
+			if e.locked {
+				st |= 4
+			}
+		}
+		n.Tr.Emit(now, trace.KindNCTxn, x.Line, x.TxnID, int32(x.Type), st)
+	}
 	if n.p.TraceLine != 0 && x.Line == n.p.TraceLine {
 		snap := func() string {
 			e := n.lookup(x.Line)

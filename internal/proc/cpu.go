@@ -8,6 +8,7 @@ import (
 	"numachine/internal/msg"
 	"numachine/internal/sim"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 )
 
 // state is the CPU's execution state.
@@ -82,6 +83,16 @@ type CPU struct {
 	InterruptReg uint64
 	BarrierReg   uint64
 
+	// Tr is the structured-event trace sink (nil when tracing is off).
+	Tr *trace.Sink
+
+	// phase mirrors the monitor's phase-identifier register so the CPU
+	// can attribute transactions without touching shared monitor state
+	// from a phase-1 worker; phaseTxns counts issued transactions per
+	// phase (§3.3.4), aggregated serially by core.
+	phase     uint8
+	phaseTxns [256]int64
+
 	Stats Stats
 }
 
@@ -117,6 +128,19 @@ func (c *CPU) SetRunner(r *Runner) {
 
 // L2 exposes the secondary cache for the invariant checker and tests.
 func (c *CPU) L2() *cache.Cache { return c.l2 }
+
+// Phase returns the current phase-identifier register value.
+func (c *CPU) Phase() uint8 { return c.phase }
+
+// AddPhaseTransactions folds this CPU's per-phase transaction counts into
+// dst, skipping empty phases.
+func (c *CPU) AddPhaseTransactions(dst map[uint8]int64) {
+	for ph, n := range c.phaseTxns {
+		if n != 0 {
+			dst[uint8(ph)] += n
+		}
+	}
+}
 
 // Done reports whether the workload has completed.
 func (c *CPU) Done() bool { return c.st == sDone }
@@ -245,6 +269,8 @@ func (c *CPU) process(ref Ref, now int64) {
 		c.lastResult = 0
 		c.thinkUntil = now + 1
 	case RefPhase:
+		c.phase = ref.Phase
+		c.Tr.Emit(now, trace.KindPhase, 0, 0, int32(ref.Phase), 0)
 		if c.OnPhase != nil {
 			c.OnPhase(c, ref.Phase)
 		}
@@ -255,6 +281,7 @@ func (c *CPU) process(ref Ref, now int64) {
 		if c.OnBarrier == nil {
 			panic("proc: barrier used without a barrier controller")
 		}
+		c.Tr.Emit(now, trace.KindBarrierArrive, 0, 0, int32(c.phase), 0)
 		c.OnBarrier(c, now)
 	case RefKill:
 		c.curLine = c.align(ref.Addr)
@@ -351,6 +378,12 @@ func (c *CPU) send(t msg.Type, now int64, retry bool) {
 	if home == c.Station {
 		dst = c.g.ModMem()
 	}
+	c.phaseTxns[c.phase]++
+	rb := int32(0)
+	if retry {
+		rb = 1
+	}
+	c.Tr.Emit(now, trace.KindTxnBegin, c.curLine, 0, int32(t), int32(c.phase)<<1|rb)
 	c.outQ.Push(&msg.Message{
 		Type: t, Line: c.curLine, Home: home,
 		SrcMod: c.Local, DstMod: dst,
@@ -362,6 +395,8 @@ func (c *CPU) send(t msg.Type, now int64, retry bool) {
 
 func (c *CPU) sendKill(now int64) {
 	home := c.HomeOf(c.curLine)
+	c.phaseTxns[c.phase]++
+	c.Tr.Emit(now, trace.KindTxnBegin, c.curLine, 0, int32(msg.KillReq), int32(c.phase)<<1)
 	m := &msg.Message{
 		Type: msg.KillReq, Line: c.curLine, Home: home,
 		SrcMod: c.Local, SrcStation: c.Station,
@@ -401,6 +436,7 @@ func (c *CPU) fill(st cache.State, data uint64, now int64) {
 
 func (c *CPU) writeBack(victim cache.Line, now int64) {
 	c.Stats.WriteBacks.Inc()
+	c.Tr.Emit(now, trace.KindWriteBack, victim.Addr, 0, 0, 0)
 	home := c.HomeOf(victim.Addr)
 	dst := c.g.ModNC()
 	if home == c.Station {
@@ -427,6 +463,7 @@ func (c *CPU) complete(now int64) {
 		c.lastResult = l.Data // old value for RMW, ignored for plain writes
 		l.Data = c.newValue(l.Data)
 	}
+	c.Tr.Emit(now, trace.KindTxnEnd, c.curLine, 0, int32(c.cur.Kind), int32(c.phase))
 	c.st = sThink
 	c.thinkUntil = now + int64(c.p.L2FillCycles+c.p.ProcMissOverhead)
 }
@@ -440,6 +477,7 @@ func (c *CPU) FinishBarrier(now int64) {
 		panic("proc: FinishBarrier on a CPU not at a barrier")
 	}
 	c.syncStats(now - 1)
+	c.Tr.Emit(now, trace.KindBarrierRelease, 0, 0, int32(c.phase), 0)
 	c.lastResult = 0
 	c.st = sThink
 	c.thinkUntil = now
@@ -486,12 +524,14 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 		c.complete(now)
 	case msg.ProcNAK:
 		if c.st == sWaitMem && m.Line == c.curLine {
+			c.Tr.Emit(now, trace.KindNAK, m.Line, m.TxnID, int32(m.NakOf), int32(c.p.RetryDelay))
 			c.st = sWaitRetry
 			c.retryAt = now + int64(c.p.RetryDelay)
 		}
 	case msg.BusInval:
 		if old, ok := c.l2.Invalidate(m.Line); ok {
 			_ = old
+			c.Tr.Emit(now, trace.KindInval, m.Line, m.TxnID, 0, 0)
 			if c.l1 != nil {
 				c.l1.Invalidate(m.Line)
 			}
@@ -511,6 +551,7 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 	case msg.NetInterrupt:
 		c.InterruptReg |= 1 << uint(m.SrcStation)
 		if c.st == sWaitInterrupt {
+			c.Tr.Emit(now, trace.KindTxnEnd, c.curLine, m.TxnID, int32(c.cur.Kind), int32(c.phase))
 			c.lastResult = 0
 			c.st = sThink
 			c.thinkUntil = now + 1
@@ -533,8 +574,13 @@ func (c *CPU) serveIntervention(m *msg.Message, now int64) {
 		SrcStation: c.Station, DstStation: c.Station,
 		AlsoProc: m.AlsoProc, IssueCycle: now,
 	}
+	ex := int32(0)
+	if m.Ex {
+		ex = 1
+	}
 	if l != nil && l.State == cache.Dirty {
 		c.Stats.Interventions.Inc()
+		c.Tr.Emit(now, trace.KindInterv, m.Line, m.TxnID, 1, ex)
 		resp.Type = msg.IntervResp
 		resp.Data, resp.HasData = l.Data, true
 		if m.Ex {
@@ -547,6 +593,7 @@ func (c *CPU) serveIntervention(m *msg.Message, now int64) {
 		}
 	} else {
 		resp.Type = msg.IntervMiss
+		c.Tr.Emit(now, trace.KindInterv, m.Line, m.TxnID, 0, ex)
 		if m.Ex && l != nil {
 			c.l2.Invalidate(m.Line)
 			if c.l1 != nil {

@@ -4,6 +4,7 @@ import (
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
 	"numachine/internal/sim"
+	"numachine/internal/trace"
 )
 
 // IRI is an inter-ring interface (§3.1.3): a simple switch between a local
@@ -23,6 +24,12 @@ type IRI struct {
 	// central ring interface).
 	UpDelay   monitor.Sampler
 	DownDelay monitor.Sampler
+
+	// Tr is the structured-event trace sink (nil when tracing is off).
+	// Switch events fire only on pushes into the up/down FIFOs, which
+	// require an occupied slot on the feeding ring — an edge every cycle
+	// loop ticks — so traces stay loop-invariant.
+	Tr *trace.Sink
 }
 
 // NewIRI builds the interface for local ring ringID.
@@ -86,6 +93,8 @@ func (l localPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 			if !i.upQ.Full() {
 				pkt.ReadyAt = now + int64(i.p.IRICycles)
 				i.upQ.Push(pkt, now)
+				i.Tr.Emit(now, trace.KindFlitSwitch, pkt.Msg.Line, pkt.Msg.TxnID,
+					0, int32(pkt.Msg.Type))
 				return nil
 			}
 			return pkt
@@ -99,6 +108,8 @@ func (l localPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 				pkt.ReadyAt = now + int64(i.p.IRICycles)
 				pkt.EnqueuedAt = now
 				i.downQ.Push(pkt, now)
+				i.Tr.Emit(now, trace.KindFlitSwitch, pkt.Msg.Line, pkt.Msg.TxnID,
+					1, int32(pkt.Msg.Type))
 				return nil
 			}
 		}
@@ -139,6 +150,8 @@ func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 				cp.ReadyAt = now + int64(i.p.IRICycles)
 				cp.EnqueuedAt = now
 				i.downQ.Push(&cp, now)
+				i.Tr.Emit(now, trace.KindFlitSwitch, cp.Msg.Line, cp.Msg.TxnID,
+					1, int32(cp.Msg.Type))
 				pkt.Mask.Rings &^= 1 << uint(i.RingID)
 				if pkt.Mask.Rings == 0 {
 					return nil

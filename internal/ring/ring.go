@@ -24,6 +24,7 @@ import (
 	"numachine/internal/msg"
 	"numachine/internal/sim"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 )
 
 // Node is an attachment point on a ring. Each ring tick the ring presents
@@ -69,6 +70,13 @@ type Ring struct {
 	Util monitor.Utilization
 	// Stalls counts ring-halt ticks due to flow control.
 	Stalls monitor.Counter
+
+	// Tr is the structured-event trace sink (nil when tracing is off).
+	// Ring events are emitted only from edges every cycle loop ticks —
+	// stalls (the halt forces a tick) and non-zero occupancy (occupied
+	// slots force a tick) — never from the provably-empty edges the
+	// scheduler skips, keeping traces loop-invariant.
+	Tr *trace.Sink
 }
 
 // New builds a ring with the given attached nodes. seqNode is the index of
@@ -169,6 +177,7 @@ func (r *Ring) Tick(now int64) {
 	for _, n := range r.nodes {
 		if n.InputFull() {
 			r.Stalls.Inc()
+			r.Tr.Emit(now, trace.KindRingStall, 0, 0, int32(r.Occupied()), 0)
 			return
 		}
 	}
@@ -191,6 +200,9 @@ func (r *Ring) Tick(now int64) {
 	last := r.slots[len(r.slots)-1]
 	copy(r.slots[1:], r.slots[:len(r.slots)-1])
 	r.slots[0] = last
+	if occ := r.Occupied(); occ > 0 {
+		r.Tr.Emit(now, trace.KindRingOccupancy, 0, 0, int32(occ), 0)
+	}
 }
 
 // Occupied returns the number of full slots (for tests and diagnostics).

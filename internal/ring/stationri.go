@@ -5,6 +5,7 @@ import (
 	"numachine/internal/msg"
 	"numachine/internal/sim"
 	"numachine/internal/topo"
+	"numachine/internal/trace"
 )
 
 // Credits bounds the number of nonsinkable messages each station may have
@@ -71,6 +72,12 @@ type StationRI struct {
 	// placed on the ring.
 	Delivered monitor.Counter
 	Injected  monitor.Counter
+
+	// Tr is the structured-event trace sink (nil when tracing is off).
+	// BusDeliver emits from the owning station's phase-1 worker; the
+	// HandleSlot/Tick emissions come from the serial phase 2 — never both
+	// in the same phase, so the sink needs no locking.
+	Tr *trace.Sink
 }
 
 // NewStationRI builds the ring interface for a station.
@@ -120,6 +127,7 @@ func (r *StationRI) BusDeliver(m *msg.Message, now int64) {
 		mask.Rings = 0
 	}
 	n := m.Packets(r.p.PacketsPerLine)
+	r.Tr.Emit(now, trace.KindFlitEnqueue, m.Line, m.TxnID, int32(m.Type), int32(n))
 	q := r.sinkQ
 	if !m.Type.Sinkable() {
 		q = r.nonsinkQ
@@ -151,6 +159,8 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 			if !r.inFIFO.Full() {
 				cp := *pkt
 				r.inFIFO.Push(&cp, now)
+				r.Tr.Emit(now, trace.KindFlitArrive, pkt.Msg.Line, pkt.Msg.TxnID,
+					int32(pkt.Msg.Type), int32(pkt.Seq))
 				pkt.Mask.Stations &^= 1 << uint(r.pos)
 				if pkt.Mask.Stations == 0 {
 					return nil // last destination: free the slot
@@ -164,6 +174,8 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 		r.sinkQ.Pop(now)
 		r.SendDelay.Sample(now - pk.EnqueuedAt)
 		r.Injected.Inc()
+		r.Tr.Emit(now, trace.KindFlitInject, pk.Msg.Line, pk.Msg.TxnID,
+			int32(pk.Msg.Type), int32(pk.Seq))
 		return pk
 	}
 	if pk, ok := r.nonsinkQ.Peek(); ok && pk.ReadyAt <= now {
@@ -172,6 +184,8 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 			r.nonsinkQ.Pop(now)
 			r.SendDelay.Sample(now - pk.EnqueuedAt)
 			r.Injected.Inc()
+			r.Tr.Emit(now, trace.KindFlitInject, pk.Msg.Line, pk.Msg.TxnID,
+				int32(pk.Msg.Type), int32(pk.Seq))
 			return pk
 		}
 	}
@@ -248,6 +262,8 @@ func (r *StationRI) Tick(now int64) {
 		}
 		r.busOutQ.Push(&cp, now)
 		r.Delivered.Inc()
+		r.Tr.Emit(now, trace.KindFlitDeliver, m.Line, m.TxnID,
+			int32(m.Type), int32(now-first))
 		r.unpackBusy = now + int64(r.p.RIUnpackCycles)
 	}
 }

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numachine/internal/msg"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden Chrome trace")
+
+// goldenTracer builds a small synthetic trace covering every exporter
+// branch: spans, NAK-closed spans, slices, instants, counters, flows and
+// metadata for both a station process and the interconnect process.
+func goldenTracer() *Tracer {
+	tr := NewTracer(64)
+	tr.CyclesToNS = func(c int64) float64 { return float64(c) * 20 } // 50 MHz
+	cpu := tr.Register("cpu[0]", 0, ClassCPU)
+	bus := tr.Register("bus[0]", 0, ClassBus)
+	mem := tr.Register("mem[0]", 0, ClassMem)
+	ring := tr.Register("local ring 0", 1, ClassRing)
+
+	cpu.Emit(1, KindPhase, 0, 0, 3, 0)
+	cpu.Emit(2, KindTxnBegin, 0x1c0, 0, int32(msg.RemRead), 3<<1)
+	bus.Emit(4, KindBusGrant, 0x1c0, 0, int32(msg.RemRead), 6)
+	bus.Emit(10, KindBusDeliver, 0x1c0, 0, int32(msg.RemRead), 2)
+	mem.Emit(12, KindMemTxn, 0x1c0, 9, int32(msg.LocalRead), 2)
+	mem.Emit(12, KindQueueDepth, 0, 0, 1, 0)
+	cpu.Emit(20, KindNAK, 0x1c0, 9, int32(msg.RemRead), 16)
+	cpu.Emit(36, KindTxnBegin, 0x1c0, 0, int32(msg.RemRead), 3<<1|1)
+	cpu.Emit(50, KindTxnEnd, 0x1c0, 9, 1, 3)
+	cpu.Emit(60, KindBarrierArrive, 0, 0, 3, 0)
+	cpu.Emit(70, KindBarrierRelease, 0, 0, 3, 0)
+	ring.Emit(8, KindRingOccupancy, 0, 0, 2, 0)
+	ring.Emit(9, KindRingStall, 0, 0, 2, 0)
+	return tr
+}
+
+// TestWriteChromeGolden pins the exporter's byte output. Run with
+// -update after an intentional format change; CI's tracelint job cross
+// checks real traces against the same schema via ValidateChrome.
+func TestWriteChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden_chrome.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run: go test ./internal/trace -run Golden -update)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from golden (rerun with -update if intended)\ngot:  %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestWriteChromeDeterminism: repeated export must be byte-identical.
+func TestWriteChromeDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	tr := goldenTracer()
+	if err := tr.WriteChrome(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteChrome not deterministic")
+	}
+}
+
+// TestValidateChromeAccepts checks the validator passes the exporter's
+// own output and reports the event count.
+func TestValidateChromeAccepts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ValidateChrome(&buf)
+	if err != nil {
+		t.Fatalf("validator rejects exporter output: %v", err)
+	}
+	if n < 10 {
+		t.Fatalf("suspiciously few events: %d", n)
+	}
+}
+
+// TestValidateChromeRejects exercises each schema-violation branch.
+func TestValidateChromeRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"not json", `{`, "not valid JSON"},
+		{"empty", `{"traceEvents":[]}`, "missing or empty"},
+		{"no name", `{"traceEvents":[{"ph":"i","pid":1,"tid":1,"ts":0}]}`, "missing name"},
+		{"bad phase", `{"traceEvents":[{"name":"x","ph":"Z","pid":1,"tid":1,"ts":0}]}`, "bad phase"},
+		{"no pid", `{"traceEvents":[{"name":"x","ph":"i","tid":1,"ts":0}]}`, "missing pid"},
+		{"no tid", `{"traceEvents":[{"name":"x","ph":"i","pid":1,"ts":0}]}`, "missing tid"},
+		{"no ts", `{"traceEvents":[{"name":"x","ph":"i","pid":1,"tid":1}]}`, "missing ts"},
+		{"X sans dur", `{"traceEvents":[{"name":"x","ph":"X","pid":1,"tid":1,"ts":0}]}`, "without dur"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ValidateChrome(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
