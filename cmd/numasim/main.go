@@ -8,6 +8,7 @@
 //	numasim -workload barnes -procs 16 -stations 2 -rings 2
 //	numasim -workload fft -procs 8 -trace trace.json   # Perfetto trace
 //	numasim -workload radix -procs 64 -http :8080      # live metrics
+//	numasim -workload fft -procs 8 -fault-spec 'drop=1e-3' -fault-seed 7
 //	numasim -list
 package main
 
@@ -39,6 +40,10 @@ func main() {
 		naive    = flag.Bool("naive", false, "reference per-cycle loop instead of the event-aware scheduler")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 
+		faultSpec = flag.String("fault-spec", "", "fault schedule, e.g. 'drop=2e-4,dup=1e-4,freeze-mem=50000:400,degrade-ring=20000:300' (empty = fault-free)")
+		faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector (same seed+spec = same run)")
+		backoff   = flag.Bool("retry-backoff", false, "bounded exponential NAK backoff with per-requester jitter (auto-enabled by -fault-spec)")
+
 		traceOut = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file (open in ui.perfetto.dev)")
 		traceEvt = flag.Int("trace-events", trace.DefaultSinkEvents, "per-component trace ring-buffer capacity (oldest events drop first)")
 		httpAddr = flag.String("http", "", "serve live metrics on this address (e.g. :8080)")
@@ -64,6 +69,15 @@ func main() {
 	}
 	cfg.ParallelStations = *par
 	cfg.NaiveLoop = *naive
+	cfg.FaultSpec = *faultSpec
+	cfg.FaultSeed = *faultSeed
+	if *backoff || *faultSpec != "" {
+		// Faulted runs convoy retries; backoff keeps them from living on
+		// the NAK treadmill. Fault-free runs keep the fixed retry delay so
+		// existing outputs stay byte-identical unless asked.
+		cfg.Params.RetryBackoff = true
+		cfg.Params.RetryJitterSeed = *faultSeed
+	}
 
 	m, err := core.New(cfg)
 	if err != nil {
@@ -128,6 +142,15 @@ func main() {
 		r.RISendDelay, r.RIDownSink, r.RIDownNonsink, r.IRIUpDelay)
 	fmt.Printf("memory           %d transactions, %d invalidation multicasts, %d NAKs, %d optimistic acks\n",
 		r.Mem.Transactions, r.Mem.InvalidatesSent, r.Mem.NAKs, r.Mem.OptimisticAcks)
+	if *faultSpec != "" {
+		fmt.Printf("faults           seed=%d: %d drops, %d dups, %d timeout re-issues, %d ring stall edges, mem down %d / nc down %d cycles\n",
+			*faultSeed, r.Fault.Drops, r.Fault.Dups, r.Fault.TimeoutReissues,
+			r.Fault.RingFaultStalls, r.Fault.MemDownCycles, r.Fault.NCDownCycles)
+	}
+	if r.Proc.RetryStreaks > 0 {
+		fmt.Printf("NAK retries      %d references retried (streak mean %.1f, max %d); latency histogram %v\n",
+			r.Proc.RetryStreaks, r.Proc.RetryStreakMean, r.Proc.RetryStreakMax, r.Proc.RetryLatency)
+	}
 
 	if *traceOut != "" {
 		tr := m.Tracer()

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"numachine/internal/bus"
+	"numachine/internal/fault"
 	"numachine/internal/memory"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
@@ -57,6 +58,15 @@ type Config struct {
 	// StationWorkers bounds the worker pool for ParallelStations;
 	// 0 means GOMAXPROCS.
 	StationWorkers int
+
+	// FaultSpec selects the deterministic fault-injection schedule (see
+	// fault.ParseSpec); the empty string disables injection entirely and
+	// reproduces the fault-free machine byte for byte. FaultSeed seeds
+	// every injector PRNG stream: a fixed (seed, spec) pair yields the
+	// same faults — at the same cycles, on the same packets — under all
+	// three cycle loops.
+	FaultSpec string
+	FaultSeed uint64
 }
 
 // LoopName names the cycle loop this configuration selects: "naive",
@@ -101,6 +111,7 @@ type Machine struct {
 
 	credits *ring.Credits
 	runners []*proc.Runner
+	inj     *fault.Injector // nil in fault-free runs
 
 	now      int64
 	heapNext uint64
@@ -154,6 +165,10 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Geom.Validate(); err != nil {
 		return nil, err
 	}
+	spec, err := fault.ParseSpec(cfg.FaultSpec)
+	if err != nil {
+		return nil, err
+	}
 	g, p := cfg.Geom, cfg.Params
 	m := &Machine{
 		Cfg:      cfg,
@@ -163,13 +178,25 @@ func New(cfg Config) (*Machine, error) {
 		heapNext: uint64(p.PageSize), // keep address 0 unused
 		Phases:   monitor.NewPhaseIDs(g.Procs()),
 	}
+	// Build the injector only for a non-zero spec: a nil injector keeps
+	// every hook inert and fault-free runs byte-identical.
+	if !spec.Zero() {
+		m.inj = fault.New(cfg.FaultSeed, spec)
+	}
 	m.credits = ring.NewCredits(g.Stations(), p.MaxNonsinkable)
 
 	for s := 0; s < g.Stations(); s++ {
 		m.Buses = append(m.Buses, bus.New(g, p, s))
-		m.Mems = append(m.Mems, memory.New(g, p, s))
-		m.NCs = append(m.NCs, netcache.New(g, p, s))
-		m.RIs = append(m.RIs, ring.NewStationRI(g, p, s, m.credits))
+		mem := memory.New(g, p, s)
+		mem.Fault = m.inj.Mem(s)
+		m.Mems = append(m.Mems, mem)
+		nc := netcache.New(g, p, s)
+		nc.Fault = m.inj.NC(s)
+		nc.FetchTimeout = m.inj.FetchTimeout()
+		m.NCs = append(m.NCs, nc)
+		ri := ring.NewStationRI(g, p, s, m.credits)
+		ri.Fault = m.inj.RI(s)
+		m.RIs = append(m.RIs, ri)
 	}
 	m.runners = make([]*proc.Runner, g.Procs())
 	for id := 0; id < g.Procs(); id++ {
@@ -245,16 +272,21 @@ func (m *Machine) buildRings() {
 		}
 		seq := 0
 		if multi {
-			iri := ring.NewIRI(p, r)
+			iri := ring.NewIRI(p, r, m.credits)
+			iri.Fault = m.inj.IRI(r)
 			m.IRIs = append(m.IRIs, iri)
 			nodes = append(nodes, iri.LocalPort())
 			centralNodes = append(centralNodes, iri.CentralPort())
 			seq = len(nodes) - 1
 		}
-		m.Locals = append(m.Locals, ring.New(fmt.Sprintf("local-%d", r), p, nodes, seq, false))
+		name := fmt.Sprintf("local-%d", r)
+		lr := ring.New(name, p, nodes, seq, false)
+		lr.Fault = m.inj.Ring(name)
+		m.Locals = append(m.Locals, lr)
 	}
 	if multi {
 		m.Central = ring.New("central", p, centralNodes, 0, true)
+		m.Central.Fault = m.inj.Ring("central")
 	}
 }
 
@@ -645,6 +677,15 @@ func (m *Machine) Run() int64 {
 	if m.p.DeadlockCycles > 0 {
 		m.watchdogAt = lastAt + m.p.DeadlockCycles
 	}
+	// Per-transaction forward-progress monitor state, sampled on the same
+	// watchdog schedule (the quiescence fast-forward clamps to watchdogAt,
+	// so every loop samples at identical cycles and aborts identically).
+	var starveRefs []int64
+	var starveWins []int
+	if m.p.StarvationWindows > 0 {
+		starveRefs = make([]int64, len(m.CPUs))
+		starveWins = make([]int, len(m.CPUs))
+	}
 	for active() {
 		m.step()
 		if m.onSample != nil && m.now >= m.sampleAt {
@@ -656,6 +697,36 @@ func (m *Machine) Run() int64 {
 			if refs == lastRefs {
 				panic(fmt.Sprintf("core: no progress for %d cycles at cycle %d\n%s",
 					m.p.DeadlockCycles, m.now, m.dumpState()))
+			}
+			// Retry budget: one reference accumulating this many
+			// consecutive NAKs is wedged even if the rest of the machine
+			// moves (a permanently locked home line, a retry convoy).
+			if m.p.MaxRetries > 0 {
+				for i, c := range m.CPUs {
+					if c.Retries() > m.p.MaxRetries {
+						panic(fmt.Sprintf("core: cpu[%d] exceeded the retry budget (%d consecutive NAKs > %d) at cycle %d\n%s",
+							i, c.Retries(), m.p.MaxRetries, m.now, m.dumpState()))
+					}
+				}
+			}
+			// Starvation: a processor parked in a memory-wait state with
+			// no completed reference for StarvationWindows consecutive
+			// windows while the machine as a whole progressed (the global
+			// no-progress check above did not fire).
+			if m.p.StarvationWindows > 0 {
+				for i, c := range m.CPUs {
+					r := c.Stats.Reads.Value() + c.Stats.Writes.Value()
+					if c.Stalled() && r == starveRefs[i] {
+						starveWins[i]++
+						if starveWins[i] >= m.p.StarvationWindows {
+							panic(fmt.Sprintf("core: cpu[%d] starved for %d watchdog windows (%d cycles) at cycle %d\n%s",
+								i, starveWins[i], int64(starveWins[i])*m.p.DeadlockCycles, m.now, m.dumpState()))
+						}
+					} else {
+						starveWins[i] = 0
+					}
+					starveRefs[i] = r
+				}
 			}
 			lastRefs, lastAt = refs, m.now
 			m.watchdogAt = lastAt + m.p.DeadlockCycles
@@ -769,65 +840,8 @@ func (m *Machine) totalRefs() int64 {
 	return n
 }
 
-func (m *Machine) dumpState() string {
-	s := ""
-	for i, mem := range m.Mems {
-		if locks := mem.PendingLocks(); locks > 0 || !mem.Idle() {
-			qs := mem.InQStats()
-			s += fmt.Sprintf("mem[%d]: locks=%d idle=%v inQ depth=%d (enq=%d mean=%.2f max=%d)\n",
-				i, locks, mem.Idle(), mem.InQDepth(), qs.Enqueued, qs.MeanDepth, qs.MaxDepth)
-		}
-	}
-	for i, nc := range m.NCs {
-		if !nc.Idle() {
-			qs := nc.InQStats()
-			s += fmt.Sprintf("nc[%d]: busy inQ depth=%d (enq=%d mean=%.2f max=%d)\n",
-				i, nc.InQDepth(), qs.Enqueued, qs.MeanDepth, qs.MaxDepth)
-		}
-	}
-	for i, ri := range m.RIs {
-		if !ri.Idle() {
-			sk, nsk, in := ri.QueueStats()
-			s += fmt.Sprintf("ri[%d]: not idle (sink enq=%d maxdepth=%d, nonsink enq=%d maxdepth=%d, in enq=%d depth=%d maxdepth=%d) credits=%d\n",
-				i, sk.Enqueued, sk.MaxDepth, nsk.Enqueued, nsk.MaxDepth,
-				in.Enqueued, ri.InFIFODepth(), in.MaxDepth, m.credits.InFlight(i))
-		}
-	}
-	for i, lr := range m.Locals {
-		if !lr.Drained() {
-			s += fmt.Sprintf("local ring %d: %d packets in slots, stalls=%d\n", i, lr.Occupied(), lr.Stalls.Value())
-		}
-	}
-	if m.Central != nil && !m.Central.Drained() {
-		s += fmt.Sprintf("central ring: %d packets in slots, stalls=%d\n", m.Central.Occupied(), m.Central.Stalls.Value())
-	}
-	for i, iri := range m.IRIs {
-		if !iri.Idle() {
-			s += fmt.Sprintf("iri[%d]: up=%d down=%d\n", i, iri.UpStats().Enqueued, iri.DownStats().Enqueued)
-		}
-	}
-	for i := 0; i < m.g.Stations(); i++ {
-		if n := m.credits.InFlight(i); n > 0 {
-			s += fmt.Sprintf("credits[%d]: %d nonsinkable in flight\n", i, n)
-		}
-	}
-	for i, c := range m.CPUs {
-		if !c.Done() {
-			s += fmt.Sprintf("cpu[%d] st=%d: %s\n", i, c.Station, c.Pending())
-			line := m.LineOf(c.PendingLine())
-			home := m.HomeOf(line)
-			st, lk, mask, procs, _ := m.Mems[home].Peek(line)
-			s += fmt.Sprintf("  mem[%d]: %v locked=%v %v procs=%04b %s\n", home, st, lk, mask, procs, m.Mems[home].TxnInfo(line))
-			if c.Station != home {
-				if ncs, nlk, npr, _, ok := m.NCs[c.Station].Peek(line); ok {
-					s += fmt.Sprintf("  nc[%d]: %v locked=%v procs=%04b %s\n", c.Station, ncs, nlk, npr, m.NCs[c.Station].TxnInfo(line))
-				} else {
-					s += fmt.Sprintf("  nc[%d]: NotIn %s\n", c.Station, m.NCs[c.Station].TxnInfo(line))
-				}
-			}
-		}
-	}
-	return s
-}
+// dumpState renders the structured stuck-transaction report for abort
+// messages (see progress.go).
+func (m *Machine) dumpState() string { return m.Progress().String() }
 
 var _ = msg.Invalid // keep the import while the package grows

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// StuckCPU describes one unfinished processor in a ProgressReport.
+type StuckCPU struct {
+	ID      int
+	Station int
+	State   string // processor state-machine name (think, waitMem, ...)
+	Line    uint64 // line of the outstanding reference
+	Retries int    // consecutive NAKs of the current reference
+	Pending string // rendered outstanding reference
+}
+
+// ProgressReport is the structured stuck-transaction dump that the
+// watchdog, the starvation detector and the retry-budget monitor attach
+// to their aborts. Building it reconciles every lazily-accounted
+// statistic first, so the rendered report is identical whichever cycle
+// loop tripped the abort.
+type ProgressReport struct {
+	Cycle     int64
+	TotalRefs int64      // completed references machine-wide
+	CPUs      []StuckCPU // unfinished processors, in id order
+	Detail    string     // per-component diagnostics (directories, queues, rings, faults)
+}
+
+// Progress builds the forward-progress report for the current cycle.
+func (m *Machine) Progress() *ProgressReport {
+	m.SyncStats()
+	r := &ProgressReport{Cycle: m.now, TotalRefs: m.totalRefs()}
+	var b strings.Builder
+
+	for i, c := range m.CPUs {
+		if c.Done() {
+			continue
+		}
+		line := m.LineOf(c.PendingLine())
+		r.CPUs = append(r.CPUs, StuckCPU{
+			ID: i, Station: c.Station, State: c.StateName(),
+			Line: line, Retries: c.Retries(), Pending: c.Pending(),
+		})
+		home := m.HomeOf(line)
+		st, lk, mask, procs, _ := m.Mems[home].Peek(line)
+		fmt.Fprintf(&b, "cpu[%d] line %#x:\n  mem[%d]: %v locked=%v %v procs=%04b %s\n",
+			i, line, home, st, lk, mask, procs, m.Mems[home].TxnInfo(line))
+		if c.Station != home {
+			if ncs, nlk, npr, _, ok := m.NCs[c.Station].Peek(line); ok {
+				fmt.Fprintf(&b, "  nc[%d]: %v locked=%v procs=%04b %s\n",
+					c.Station, ncs, nlk, npr, m.NCs[c.Station].TxnInfo(line))
+			} else {
+				fmt.Fprintf(&b, "  nc[%d]: NotIn %s\n", c.Station, m.NCs[c.Station].TxnInfo(line))
+			}
+		}
+	}
+
+	for i, mem := range m.Mems {
+		locks := mem.PendingLocks()
+		down := mem.Fault.DownCycles(m.now)
+		if locks > 0 || !mem.Idle() || down > 0 {
+			qs := mem.InQStats()
+			fmt.Fprintf(&b, "mem[%d]: locks=%d idle=%v inQ depth=%d (enq=%d mean=%.2f max=%d)",
+				i, locks, mem.Idle(), mem.InQDepth(), qs.Enqueued, qs.MeanDepth, qs.MaxDepth)
+			if down > 0 {
+				fmt.Fprintf(&b, " fault-down=%d wedged=%v", down, mem.Fault.Wedged(m.now))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for i, nc := range m.NCs {
+		down := nc.Fault.DownCycles(m.now)
+		if !nc.Idle() || down > 0 {
+			qs := nc.InQStats()
+			fmt.Fprintf(&b, "nc[%d]: busy inQ depth=%d (enq=%d mean=%.2f max=%d) nakRetries=%d timeoutReissues=%d",
+				i, nc.InQDepth(), qs.Enqueued, qs.MeanDepth, qs.MaxDepth,
+				nc.Stats.NetNAKRetries.Value(), nc.Stats.TimeoutReissues.Value())
+			if down > 0 {
+				fmt.Fprintf(&b, " fault-down=%d", down)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for i, ri := range m.RIs {
+		drops, dups := ri.Drops.Value(), ri.Dups.Value()
+		if !ri.Idle() || drops > 0 || dups > 0 {
+			sk, nsk, in := ri.QueueStats()
+			fmt.Fprintf(&b, "ri[%d]: idle=%v (sink enq=%d maxdepth=%d, nonsink enq=%d maxdepth=%d, in enq=%d depth=%d maxdepth=%d) credits=%d drops=%d dups=%d\n",
+				i, ri.Idle(), sk.Enqueued, sk.MaxDepth, nsk.Enqueued, nsk.MaxDepth,
+				in.Enqueued, ri.InFIFODepth(), in.MaxDepth, m.credits.InFlight(i), drops, dups)
+		}
+	}
+	for i, lr := range m.Locals {
+		if !lr.Drained() || lr.FaultStalls.Value() > 0 {
+			fmt.Fprintf(&b, "local ring %d: %d packets in slots, stalls=%d fault-stalls=%d\n",
+				i, lr.Occupied(), lr.Stalls.Value(), lr.FaultStalls.Value())
+		}
+	}
+	if m.Central != nil && (!m.Central.Drained() || m.Central.FaultStalls.Value() > 0) {
+		fmt.Fprintf(&b, "central ring: %d packets in slots, stalls=%d fault-stalls=%d\n",
+			m.Central.Occupied(), m.Central.Stalls.Value(), m.Central.FaultStalls.Value())
+	}
+	for i, iri := range m.IRIs {
+		if !iri.Idle() || iri.Drops.Value() > 0 {
+			fmt.Fprintf(&b, "iri[%d]: up=%d down=%d drops=%d\n",
+				i, iri.UpStats().Enqueued, iri.DownStats().Enqueued, iri.Drops.Value())
+		}
+	}
+	for i := 0; i < m.g.Stations(); i++ {
+		if n := m.credits.InFlight(i); n > 0 {
+			fmt.Fprintf(&b, "credits[%d]: %d nonsinkable in flight\n", i, n)
+		}
+	}
+
+	r.Detail = b.String()
+	return r
+}
+
+// String renders the report: a stuck-transaction line per unfinished
+// processor followed by the component diagnostics.
+func (r *ProgressReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stuck-transaction report at cycle %d (completed refs=%d, stuck cpus=%d)\n",
+		r.Cycle, r.TotalRefs, len(r.CPUs))
+	for _, c := range r.CPUs {
+		fmt.Fprintf(&b, "cpu[%d] st=%d state=%s line=%#x retries=%d pending=%s\n",
+			c.ID, c.Station, c.State, c.Line, c.Retries, c.Pending)
+	}
+	b.WriteString(r.Detail)
+	return b.String()
+}

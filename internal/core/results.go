@@ -1,5 +1,7 @@
 package core
 
+import "numachine/internal/proc"
+
 // Results aggregates the machine's monitoring hardware into the metrics
 // the paper reports: communication path utilizations (Figure 17), ring
 // interface delays (Figure 18), network cache effectiveness (Figures 15
@@ -20,9 +22,21 @@ type Results struct {
 	IRIUpDelay   float64
 	IRIDownDelay float64
 
-	NC   NCResults
-	Mem  MemResults
-	Proc ProcResults
+	NC    NCResults
+	Mem   MemResults
+	Proc  ProcResults
+	Fault FaultResults
+}
+
+// FaultResults aggregates the fault injector's observable effects; all
+// zero in fault-free runs.
+type FaultResults struct {
+	Drops           int64 // request packets lost (RI injection + IRI switch hooks)
+	Dups            int64 // messages packetized twice
+	TimeoutReissues int64 // NC fetches recovered by the loss timeout
+	RingFaultStalls int64 // ring-clock edges lost to degrade windows
+	MemDownCycles   int64 // memory directory cycles lost to freeze/wedge windows
+	NCDownCycles    int64 // network cache cycles lost to freeze windows
 }
 
 // NCResults aggregates network cache statistics across stations.
@@ -107,6 +121,15 @@ type ProcResults struct {
 	NAKRetries     int64
 	StallCycles    int64
 	BarrierCycles  int64
+
+	// NAK-retry visibility: RetryLatency[i] counts references that were
+	// NAK'ed at least once and completed within [2^i, 2^(i+1)) cycles of
+	// their first issue; the streak fields summarize consecutive-NAK runs
+	// (how convoyed the retries were).
+	RetryLatency    [proc.RetryBuckets]int64
+	RetryStreaks    int64   // references that needed at least one retry
+	RetryStreakMean float64 // mean consecutive NAKs per retried reference
+	RetryStreakMax  int64   // worst consecutive-NAK run
 }
 
 // Results snapshots the machine's monitors, reconciling every lazily
@@ -208,6 +231,39 @@ func (m *Machine) Results() Results {
 		r.Proc.NAKRetries += s.NAKRetries.Value()
 		r.Proc.StallCycles += s.StallCycles.Value()
 		r.Proc.BarrierCycles += s.BarrierCycles.Value()
+		var streakSum float64
+		for i := range s.RetryLatency {
+			r.Proc.RetryLatency[i] += s.RetryLatency[i].Value()
+		}
+		if n := s.RetryStreak.Count(); n > 0 {
+			streakSum = r.Proc.RetryStreakMean*float64(r.Proc.RetryStreaks) + s.RetryStreak.Mean()*float64(n)
+			r.Proc.RetryStreaks += n
+			r.Proc.RetryStreakMean = streakSum / float64(r.Proc.RetryStreaks)
+		}
+		if mx := s.RetryStreak.Max(); mx > r.Proc.RetryStreakMax {
+			r.Proc.RetryStreakMax = mx
+		}
+	}
+
+	for _, ri := range m.RIs {
+		r.Fault.Drops += ri.Drops.Value()
+		r.Fault.Dups += ri.Dups.Value()
+	}
+	for _, iri := range m.IRIs {
+		r.Fault.Drops += iri.Drops.Value()
+	}
+	for _, nc := range m.NCs {
+		r.Fault.TimeoutReissues += nc.Stats.TimeoutReissues.Value()
+		r.Fault.NCDownCycles += nc.Fault.DownCycles(m.now - 1)
+	}
+	for _, mem := range m.Mems {
+		r.Fault.MemDownCycles += mem.Fault.DownCycles(m.now - 1)
+	}
+	for _, lr := range m.Locals {
+		r.Fault.RingFaultStalls += lr.FaultStalls.Value()
+	}
+	if m.Central != nil {
+		r.Fault.RingFaultStalls += m.Central.FaultStalls.Value()
 	}
 	return r
 }

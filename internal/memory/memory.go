@@ -22,6 +22,7 @@ package memory
 import (
 	"fmt"
 
+	"numachine/internal/fault"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
 	"numachine/internal/sim"
@@ -112,6 +113,14 @@ type txn struct {
 	wbStation int  // station whose NC wrote back (-1 otherwise)
 	missSeen  bool // intervention target no longer held the line
 	upgdAck   bool // respond with ProcUpgdAck rather than data
+
+	// netInterv marks transitions driven by a network intervention, and
+	// ownerStation names the station it targeted. Only that station (or,
+	// for granted transitions, the requesting station) may satisfy the
+	// transition with a RemWrBack: anything else is a stale or duplicated
+	// write-back the fault injector replayed.
+	netInterv    bool
+	ownerStation int
 }
 
 // Stats aggregates the memory module's monitoring hardware.
@@ -147,6 +156,10 @@ type Module struct {
 
 	// Tr is the structured-event trace sink (nil when tracing is off).
 	Tr *trace.Sink
+
+	// Fault holds this module's injected freeze/wedge schedule (nil in
+	// fault-free runs; every method is inert on nil).
+	Fault *fault.Comp
 
 	Stats Stats
 }
@@ -199,10 +212,14 @@ func (m *Module) PendingLocks() int {
 // visible exactly as the naive Tick would see them.
 func (m *Module) NextWork(now int64) int64 {
 	if m.staged != nil || !m.inQ.Empty() {
+		at := now
 		if now < m.busy {
-			return m.busy
+			at = m.busy
 		}
-		return now
+		// An injected freeze pushes the wake-up to the window's end (Never
+		// once wedged), so the event-aware loops skip exactly the cycles
+		// the naive loop's Tick stalls through.
+		return m.Fault.NextFree(at)
 	}
 	return sim.Never
 }
@@ -222,6 +239,9 @@ func (m *Module) InQDepth() int { return m.inQ.Len() }
 // and takes effect when that time has elapsed.
 func (m *Module) Tick(now int64) {
 	m.inQ.ObserveAt(now)
+	if m.Fault.Stalled(now) {
+		return
+	}
 	if now < m.busy {
 		return
 	}
@@ -518,7 +538,8 @@ func (m *Module) localRead(e *entry, x *msg.Message, now int64) {
 		if !ok || owner == m.Station {
 			panic(fmt.Sprintf("memory[%d]: GI with non-exact or local owner %v", m.Station, e.mask))
 		}
-		t := &txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn()}
+		t := &txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn(),
+			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervShared, owner, x.Line, nil)
 		iv.Requester = x.Requester
@@ -583,7 +604,8 @@ func (m *Module) localWrite(e *entry, x *msg.Message, now int64) {
 		e.procs = bit
 	case GI:
 		owner, _ := e.mask.Exact(m.g)
-		t := &txn{kind: msg.LocalReadEx, requester: x.Requester, reqStation: m.Station, id: m.nextTxn()}
+		t := &txn{kind: msg.LocalReadEx, requester: x.Requester, reqStation: m.Station, id: m.nextTxn(),
+			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervEx, owner, x.Line, nil)
 		iv.Requester = x.Requester
@@ -633,7 +655,8 @@ func (m *Module) remRead(e *entry, x *msg.Message, now int64) {
 		m.busInterv(now, x.Line, owner, -1, false)
 	case GI:
 		owner, _ := e.mask.Exact(m.g)
-		t := &txn{kind: msg.RemRead, requester: -1, reqStation: src, id: m.nextTxn()}
+		t := &txn{kind: msg.RemRead, requester: -1, reqStation: src, id: m.nextTxn(),
+			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervShared, owner, x.Line, nil)
 		iv.Requester = -1
@@ -673,7 +696,8 @@ func (m *Module) remReadEx(e *entry, x *msg.Message, now int64, kind msg.Type) {
 		e.procs = 0
 	case GI:
 		owner, _ := e.mask.Exact(m.g)
-		t := &txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn()}
+		t := &txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn(),
+			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervEx, owner, x.Line, nil)
 		iv.Requester = -1
@@ -732,11 +756,22 @@ func (m *Module) specialWr(e *entry, x *msg.Message, now int64) {
 
 func (m *Module) remWrBack(e *entry, x *msg.Message, now int64) {
 	if e.locked {
-		e.txn.wbSeen = true
-		e.txn.wbData = x.Data
-		e.txn.wbProc = -1
-		e.txn.wbStation = x.SrcStation
-		if e.txn.missSeen {
+		t := e.txn
+		// While locked, a write-back can only legitimately come from the
+		// station a network intervention targeted or from a writer the
+		// transition already granted; and at most once. Anything else is
+		// a stale or replayed message (fault injection duplicates ring
+		// traffic) whose data must not enter the transition.
+		fromOwner := t.netInterv && x.SrcStation == t.ownerStation
+		fromWriter := t.granted && x.SrcStation == t.reqStation
+		if (!fromOwner && !fromWriter) || t.wbSeen {
+			return
+		}
+		t.wbSeen = true
+		t.wbData = x.Data
+		t.wbProc = -1
+		t.wbStation = x.SrcStation
+		if t.missSeen {
 			m.completeAfterMiss(e, x.Line, now)
 		}
 		return
@@ -859,7 +894,7 @@ func (m *Module) intervMiss(e *entry, x *msg.Message, now int64) {
 
 // netIntervMiss: a remote NC no longer holds the line we thought it owned.
 func (m *Module) netIntervMiss(e *entry, x *msg.Message, now int64) {
-	if !e.locked || e.txn == nil || e.txn.id != x.TxnID {
+	if !e.locked || e.txn == nil || e.txn.id != x.TxnID || e.txn.missSeen {
 		return
 	}
 	e.txn.missSeen = true
@@ -923,6 +958,12 @@ func (m *Module) netDataArrival(e *entry, x *msg.Message, now int64) {
 		if x.Type == msg.NetWBCopy {
 			e.data = x.Data
 		}
+		return
+	}
+	if e.txn.id != x.TxnID {
+		// Data for an older transaction on this line (a timeout re-issue
+		// can leave two responses in flight); the current transition must
+		// wait for its own.
 		return
 	}
 	t := e.txn
@@ -1016,6 +1057,7 @@ func (m *Module) kill(e *entry, x *msg.Message, now int64) {
 		e.procs = 0
 	case GI:
 		owner, _ := e.mask.Exact(m.g)
+		t.netInterv, t.ownerStation = true, owner
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervEx, owner, x.Line, nil)
 		iv.Requester = t.requester

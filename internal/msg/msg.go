@@ -125,6 +125,36 @@ func (t Type) Sinkable() bool {
 	return true
 }
 
+// Droppable reports whether the fault injector may lose this message in
+// the network. Only the NC-issued fetch requests qualify: they are
+// single-packet, they leave a waiting transaction behind at the sender,
+// and the network cache's re-issue timeout recovers them. The other
+// nonsinkable types are excluded because losing them wedges the protocol
+// with no sender-side recovery point: a lost RemUpgd/SpecialWrReq leaves
+// the home directory lock pending an answer that names a specific txn,
+// and a lost intervention (NetInterv*) or KillReq strands a locked home
+// entry that only the targeted station could release.
+func (t Type) Droppable() bool {
+	return t == RemRead || t == RemReadEx
+}
+
+// DupSafe reports whether the fault injector may deliver this sinkable
+// message twice. A type qualifies only when a second copy is provably
+// harmless: receivers either detect it as stale (TxnID guards, cleared
+// transactions) or apply it idempotently. Data-carrying responses that
+// update authoritative state (NetDataEx, NetWBCopy, RemWrBack) are
+// excluded — a late second copy can overwrite a line that was legally
+// re-written between the two deliveries — as is NetInterrupt, whose
+// replay could complete a later, unrelated special function early.
+func (t Type) DupSafe() bool {
+	switch t {
+	case NetData, NetNAK, NetUpgdAck, NetXferDone, FalseRemoteResp,
+		Invalidate, NetIntervMiss, NetBarrier:
+		return true
+	}
+	return false
+}
+
 // CarriesData reports whether the message includes a cache-line payload and
 // therefore needs multiple ring packets.
 func (t Type) CarriesData() bool {

@@ -15,6 +15,7 @@ package netcache
 import (
 	"fmt"
 
+	"numachine/internal/fault"
 	"numachine/internal/memory"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
@@ -62,6 +63,8 @@ type txn struct {
 	data            uint64
 	retryAt         int64 // when > 0, re-issue retryType at this cycle
 	retryType       msg.Type
+	retryIsTimeout  bool // the scheduled re-issue recovers a lost request
+	nakStreak       int  // consecutive NAKs for the exponential back-off
 
 	// Network intervention service / recovery.
 	netTxnID   uint64
@@ -90,22 +93,23 @@ type entry struct {
 // Stats aggregates the NC monitoring hardware, feeding Figures 15 and 16
 // and Table 3.
 type Stats struct {
-	Requests      monitor.Counter // non-retry processor requests
-	HitsMigration monitor.Counter // hits by a processor other than the fetcher
-	HitsCaching   monitor.Counter // hits by the fetching processor (L2 victim reuse)
-	LocalInterv   monitor.Counter // requests served by a local dirty copy
-	Combined      monitor.Counter // requests masked out by a pending same-line fetch
-	Conflicts     monitor.Counter // NAKs due to set conflicts with a locked entry
-	RemoteFetches monitor.Counter // requests that had to go to the home memory
-	Retries       monitor.Counter // re-issued processor requests (excluded from rates)
-	NetNAKRetries monitor.Counter // our remote requests NAK'ed by a locked home line
-	FalseRemotes  monitor.Counter // recoveries after ejection lost directory info
-	SpecialWrReqs monitor.Counter // optimistic upgrade misfires (§4.6)
-	Prefetches    monitor.Counter // background fetch hints (§3.1.4)
-	Ejections     monitor.Counter
-	EjectWrBacks  monitor.Counter // LV ejections written back to home
-	EjectLISilent monitor.Counter // LI ejections dropping directory info (Table 3 source)
-	Hist          *monitor.Table
+	Requests        monitor.Counter // non-retry processor requests
+	HitsMigration   monitor.Counter // hits by a processor other than the fetcher
+	HitsCaching     monitor.Counter // hits by the fetching processor (L2 victim reuse)
+	LocalInterv     monitor.Counter // requests served by a local dirty copy
+	Combined        monitor.Counter // requests masked out by a pending same-line fetch
+	Conflicts       monitor.Counter // NAKs due to set conflicts with a locked entry
+	RemoteFetches   monitor.Counter // requests that had to go to the home memory
+	Retries         monitor.Counter // re-issued processor requests (excluded from rates)
+	NetNAKRetries   monitor.Counter // our remote requests NAK'ed by a locked home line
+	TimeoutReissues monitor.Counter // fetch requests re-issued after a loss timeout
+	FalseRemotes    monitor.Counter // recoveries after ejection lost directory info
+	SpecialWrReqs   monitor.Counter // optimistic upgrade misfires (§4.6)
+	Prefetches      monitor.Counter // background fetch hints (§3.1.4)
+	Ejections       monitor.Counter
+	EjectWrBacks    monitor.Counter // LV ejections written back to home
+	EjectLISilent   monitor.Counter // LI ejections dropping directory info (Table 3 source)
+	Hist            *monitor.Table
 }
 
 // HistRows and HistCols label the NC coherence histogram.
@@ -155,6 +159,18 @@ type Module struct {
 	// retryLines tracks locked lines with a scheduled retry.
 	retryLines []uint64
 
+	// retryRNG draws the deterministic back-off jitter for this NC's
+	// re-issues; it is consumed only while handling a NetNAK (a real-work
+	// event every cycle loop executes identically), never from idle ticks.
+	retryRNG sim.RNG
+
+	// Fault, when non-nil, freezes the directory pipeline during the
+	// injector's outage windows. FetchTimeout, when > 0, re-issues an
+	// unanswered fetch request after that many cycles — the sender-side
+	// recovery for request packets the injector drops in the network.
+	Fault        *fault.Comp
+	FetchTimeout int64
+
 	// Tr is the structured-event trace sink (nil when tracing is off).
 	Tr *trace.Sink
 
@@ -176,6 +192,11 @@ func New(g topo.Geometry, p sim.Params, station int) *Module {
 	// Observed at the top of Tick, after same-cycle bus deliveries (the bus
 	// phase precedes the NC phase), hence prePush=false.
 	n.inQ.MonitorEvery(32, false)
+	// Seed unconditionally: the zero xorshift state would be degenerate.
+	// The constant tags the stream so NC jitter never collides with the
+	// per-CPU streams derived from the same RetryJitterSeed.
+	n.retryRNG = *sim.NewRNG(p.RetryJitterSeed ^ 0x6e65746361636865 ^
+		(0x9e3779b97f4a7c15 * (uint64(station) + 1)))
 	return n
 }
 
@@ -258,7 +279,7 @@ func (n *Module) NextWork(now int64) int64 {
 	for _, line := range n.retryLines {
 		e := n.lookup(line)
 		if e == nil || !e.locked || e.txn == nil || e.txn.retryAt == 0 {
-			return now // stale entry: fireRetries must drop it this cycle
+			return n.Fault.NextFree(now) // stale entry: fireRetries must drop it this cycle
 		}
 		if e.txn.retryAt < wake {
 			wake = e.txn.retryAt
@@ -270,10 +291,10 @@ func (n *Module) NextWork(now int64) int64 {
 				wake = n.busy
 			}
 		} else {
-			return now
+			return n.Fault.NextFree(now)
 		}
 	}
-	return wake
+	return n.Fault.NextFree(wake)
 }
 
 // SyncStats brings the input-queue occupancy sampling up to date through
@@ -290,6 +311,9 @@ func (n *Module) InQDepth() int { return n.inQ.Len() }
 // SRAM/DRAM access time) and fires due retries.
 func (n *Module) Tick(now int64) {
 	n.inQ.ObserveAt(now)
+	if n.Fault.Stalled(now) {
+		return // injected outage: the directory pipeline is frozen
+	}
 	n.fireRetries(now)
 	if now < n.busy {
 		return
@@ -316,8 +340,13 @@ func (n *Module) fireRetries(now int64) {
 	if len(n.retryLines) == 0 {
 		return
 	}
-	kept := n.retryLines[:0]
-	for _, line := range n.retryLines {
+	// sendHome re-arms the loss timeout through armRetry, which appends to
+	// n.retryLines; detach the slice first so the in-place filter below
+	// never races the appends, then merge the re-armed lines back in.
+	old := n.retryLines
+	n.retryLines = nil
+	kept := old[:0]
+	for _, line := range old {
 		e := n.lookup(line)
 		if e == nil || !e.locked || e.txn == nil || e.txn.retryAt == 0 {
 			continue
@@ -328,10 +357,50 @@ func (n *Module) fireRetries(now int64) {
 		}
 		t := e.txn
 		t.retryAt = 0
-		n.Stats.NetNAKRetries.Inc()
+		if t.retryIsTimeout {
+			t.retryIsTimeout = false
+			n.Stats.TimeoutReissues.Inc()
+		} else {
+			n.Stats.NetNAKRetries.Inc()
+		}
 		n.sendHome(now, t.retryType, line, t)
 	}
-	n.retryLines = kept
+	n.retryLines = append(kept, n.retryLines...)
+}
+
+// armRetry schedules a re-issue of the txn's request at cycle at. The line
+// enters retryLines only when no re-issue was armed yet, so a NetNAK
+// overwriting a pending loss timeout (or vice versa) never duplicates the
+// entry.
+func (n *Module) armRetry(line uint64, t *txn, at int64, timeout bool) {
+	if t.retryAt == 0 {
+		n.retryLines = append(n.retryLines, line)
+	}
+	t.retryAt = at
+	t.retryIsTimeout = timeout
+}
+
+// retryDelay computes the back-off before re-issuing a NAK'ed request.
+// With RetryBackoff off it is the fixed RetryDelay; with it on, the delay
+// doubles per consecutive NAK up to RetryMaxDelay plus a deterministic
+// jitter drawn from this NC's seeded stream.
+func (n *Module) retryDelay(t *txn) int64 {
+	d := int64(n.p.RetryDelay)
+	if !n.p.RetryBackoff {
+		return d
+	}
+	shift := t.nakStreak
+	if shift > 16 {
+		shift = 16
+	}
+	d <<= uint(shift)
+	if max := int64(n.p.RetryMaxDelay); max > 0 && d > max {
+		d = max
+	}
+	if d > 1 {
+		d += int64(n.retryRNG.Intn(int(d/2) + 1))
+	}
+	return d
 }
 
 // ---- output helpers ----
@@ -359,11 +428,23 @@ func (n *Module) toNet(now int64, t msg.Type, dst, home int, line uint64) *msg.M
 	return out
 }
 
-// sendHome (re-)issues a request for a locked fetch txn.
+// sendHome (re-)issues a request for a locked fetch txn. When a loss
+// timeout is configured, every outbound fetch request arms (or re-arms) a
+// re-issue: if the request is dropped in the network, the timeout fires
+// and the request goes out again; if an answer arrives first, the handler
+// cancels the timeout.
 func (n *Module) sendHome(now int64, t msg.Type, line uint64, tx *txn) {
 	m := n.toNet(now, t, tx.home, tx.home, line)
 	m.Requester = tx.reqProc
 	m.ReqStation = n.Station
+	// Arm only for the types the injector can drop: a spurious re-issue
+	// of an undroppable request (RemUpgd, SpecialWrReq) after a merely
+	// slow response has no recovery analysis behind it, and those types
+	// can never be lost.
+	if n.FetchTimeout > 0 && tx.kind == txnFetch && t.Droppable() {
+		tx.retryType = t
+		n.armRetry(line, tx, now+n.FetchTimeout, true)
+	}
 }
 
 func (n *Module) busInval(now int64, line uint64, procs uint16) {

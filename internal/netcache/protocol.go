@@ -465,8 +465,24 @@ func (n *Module) fetchTxn(line uint64) (*entry, *txn) {
 func (n *Module) netData(x *msg.Message, now int64) {
 	e, t := n.fetchTxn(x.Line)
 	if t == nil {
+		// No fetch is pending. An exclusive response can still arrive
+		// after a loss-timeout re-issue raced a completed transfer: the
+		// home now believes this station owns the line, and the payload
+		// may be the only valid copy in the system. If nothing here holds
+		// the line (no entry, or an unlocked non-owning one), send the
+		// data home as an ordinary owner write-back so the directory
+		// converges; when a local copy — or a transaction that implies
+		// one — exists, the late response is redundant and is dropped.
+		// Never allocate for it: this path must not evict live entries.
+		if x.Type == msg.NetDataEx {
+			if e := n.lookup(x.Line); e == nil || (!e.locked && e.state != LV && e.state != LI) {
+				wb := n.toNet(now, msg.RemWrBack, x.Home, x.Home, x.Line)
+				wb.Data, wb.HasData = x.Data, true
+			}
+		}
 		return // stale response
 	}
+	t.retryAt = 0 // answered: cancel any scheduled loss-timeout re-issue
 	t.dataSeen, t.data = true, x.Data
 	if x.Type == msg.NetDataEx && x.InvalFollows {
 		t.expectInvalID = x.TxnID
@@ -480,6 +496,7 @@ func (n *Module) netUpgdAck(x *msg.Message, now int64) {
 	if t == nil {
 		return
 	}
+	t.retryAt = 0 // answered: cancel any scheduled loss-timeout re-issue
 	if t.dataInvalidated {
 		// §4.6: the directory's inexact mask said we still held a copy, but
 		// it was invalidated before the acknowledgement arrived. Ownership
@@ -501,6 +518,12 @@ func (n *Module) netUpgdAck(x *msg.Message, now int64) {
 func (n *Module) netNAK(x *msg.Message, now int64) {
 	e, t := n.fetchTxn(x.Line)
 	if t == nil {
+		// A kill's NAK has no NC transaction: the processor's KillReq hit
+		// a locked home line. Forward it so the issuing processor backs
+		// off and re-sends the kill instead of waiting forever.
+		if x.NakOf == msg.KillReq && x.Requester >= 0 {
+			n.toProc(now, msg.ProcNAK, n.g.LocalProc(x.Requester), x.Line, 0, msg.KillReq)
+		}
 		return
 	}
 	rt := t.origType
@@ -510,8 +533,9 @@ func (n *Module) netNAK(x *msg.Message, now int64) {
 		t.upgdAck = false
 	}
 	t.retryType = rt
-	t.retryAt = now + int64(n.p.RetryDelay)
-	n.retryLines = append(n.retryLines, e.line)
+	d := n.retryDelay(t)
+	t.nakStreak++
+	n.armRetry(e.line, t, now+d, false)
 }
 
 func (n *Module) falseRemote(x *msg.Message, now int64) {

@@ -2,6 +2,7 @@ package proc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"numachine/internal/cache"
 	"numachine/internal/monitor"
@@ -23,6 +24,12 @@ const (
 	sDone
 )
 
+// RetryBuckets is the size of the NAK-retry latency histogram: bucket i
+// counts references that needed at least one retry and completed within
+// [2^i, 2^(i+1)) cycles of their first issue (the last bucket absorbs
+// the tail).
+const RetryBuckets = 16
+
 // Stats collects the processor-module monitoring counters.
 type Stats struct {
 	Reads, Writes  monitor.Counter
@@ -36,6 +43,25 @@ type Stats struct {
 	Interventions  monitor.Counter // served from our dirty L2
 	StallCycles    monitor.Counter // cycles blocked on the memory system
 	BarrierCycles  monitor.Counter
+
+	// RetryLatency histograms the issue-to-completion latency of
+	// references that were NAK'ed at least once; RetryStreak samples how
+	// many consecutive NAKs each such reference absorbed. Together they
+	// make retry convoys visible in the results and telemetry.
+	RetryLatency [RetryBuckets]monitor.Counter
+	RetryStreak  monitor.Sampler
+}
+
+// retryBucket maps a retry latency to its histogram bucket.
+func retryBucket(cycles int64) int {
+	if cycles < 1 {
+		cycles = 1
+	}
+	b := bits.Len64(uint64(cycles)) - 1
+	if b >= RetryBuckets {
+		b = RetryBuckets - 1
+	}
+	return b
 }
 
 // CPU is one processor module: R4400-like core + primary cache model +
@@ -60,6 +86,16 @@ type CPU struct {
 	lastResult uint64
 	finishAt   int64 // completion timestamp of the parallel section
 	statsAt    int64 // first cycle whose stall/barrier counters are unaccounted
+
+	// NAK-retry tracking: nakStreak counts consecutive NAKs of the
+	// current reference (the exponential back-off exponent and the
+	// forward-progress monitor's retry budget), firstIssueAt stamps the
+	// reference's first issue for the retry-latency histogram. retryRNG
+	// is the per-CPU jitter stream; seeded from (RetryJitterSeed,
+	// GlobalID) so draws are identical under every cycle loop.
+	nakStreak    int
+	firstIssueAt int64
+	retryRNG     sim.RNG
 
 	// The single outstanding reference.
 	cur     Ref
@@ -112,6 +148,7 @@ func New(g topo.Geometry, p sim.Params, globalID int, runner *Runner, l1Lines in
 	if l1Lines > 0 {
 		c.l1 = cache.New(l1Lines, 1, p.LineSize)
 	}
+	c.retryRNG = *sim.NewRNG(p.RetryJitterSeed ^ (0x9e3779b97f4a7c15 * (uint64(globalID) + 1)))
 	if runner == nil {
 		c.st = sDone // idle until a program is loaded
 	}
@@ -144,6 +181,19 @@ func (c *CPU) AddPhaseTransactions(dst map[uint8]int64) {
 
 // Done reports whether the workload has completed.
 func (c *CPU) Done() bool { return c.st == sDone }
+
+// Stalled reports whether the CPU is blocked on the memory system (the
+// states the starvation monitor watches).
+func (c *CPU) Stalled() bool { return c.st == sWaitMem || c.st == sWaitRetry }
+
+// StateName returns the execution-state mnemonic (diagnostics).
+func (c *CPU) StateName() string {
+	return [...]string{"think", "waitMem", "waitRetry", "waitBarrier", "waitIntr", "done"}[c.st]
+}
+
+// Retries returns how many consecutive NAKs the in-flight reference has
+// absorbed so far (0 when nothing is being retried).
+func (c *CPU) Retries() int { return c.nakStreak }
 
 // PendingLine returns the line of the in-flight reference (diagnostics).
 func (c *CPU) PendingLine() uint64 { return c.curLine }
@@ -356,6 +406,14 @@ func (c *CPU) newValue(old uint64) uint64 {
 func (c *CPU) issue(now int64, retry bool) {
 	if retry {
 		c.Stats.NAKRetries.Inc()
+	} else {
+		c.firstIssueAt = now
+	}
+	if c.cur.Kind == RefKill {
+		// A NAK'ed special function re-issues whole.
+		c.st = sWaitInterrupt
+		c.sendKill(now)
+		return
 	}
 	var t msg.Type
 	switch c.cur.Kind {
@@ -370,6 +428,40 @@ func (c *CPU) issue(now int64, retry bool) {
 	}
 	c.st = sWaitMem
 	c.send(t, now, retry)
+}
+
+// retryDelay computes the back-off before re-issuing after a NAK, with
+// nakStreak NAKs already absorbed by the current reference. With
+// RetryBackoff off this is the fixed RetryDelay of the prototype;
+// otherwise the delay doubles per consecutive NAK up to RetryMaxDelay
+// and gains a per-CPU jitter in [0, delay/2] so colliding requesters
+// spread out instead of re-colliding in lockstep.
+func (c *CPU) retryDelay() int64 {
+	d := int64(c.p.RetryDelay)
+	if !c.p.RetryBackoff {
+		return d
+	}
+	shift := c.nakStreak
+	if shift > 16 {
+		shift = 16
+	}
+	d <<= uint(shift)
+	if max := int64(c.p.RetryMaxDelay); max > 0 && d > max {
+		d = max
+	}
+	if d > 1 {
+		d += int64(c.retryRNG.Intn(int(d/2) + 1))
+	}
+	return d
+}
+
+// nak moves the CPU to the retry state after a ProcNAK.
+func (c *CPU) nak(m *msg.Message, now int64) {
+	d := c.retryDelay()
+	c.Tr.Emit(now, trace.KindNAK, m.Line, m.TxnID, int32(m.NakOf), int32(d))
+	c.nakStreak++
+	c.st = sWaitRetry
+	c.retryAt = now + d
 }
 
 func (c *CPU) send(t msg.Type, now int64, retry bool) {
@@ -464,8 +556,20 @@ func (c *CPU) complete(now int64) {
 		l.Data = c.newValue(l.Data)
 	}
 	c.Tr.Emit(now, trace.KindTxnEnd, c.curLine, 0, int32(c.cur.Kind), int32(c.phase))
+	c.retryDone(now)
 	c.st = sThink
 	c.thinkUntil = now + int64(c.p.L2FillCycles+c.p.ProcMissOverhead)
+}
+
+// retryDone closes out the retry tracking of a completing reference,
+// feeding the latency histogram when it was NAK'ed at least once.
+func (c *CPU) retryDone(now int64) {
+	if c.nakStreak == 0 {
+		return
+	}
+	c.Stats.RetryStreak.Sample(int64(c.nakStreak))
+	c.Stats.RetryLatency[retryBucket(now-c.firstIssueAt)].Inc()
+	c.nakStreak = 0
 }
 
 // FinishBarrier releases the CPU from a barrier at the given cycle.
@@ -524,9 +628,12 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 		c.complete(now)
 	case msg.ProcNAK:
 		if c.st == sWaitMem && m.Line == c.curLine {
-			c.Tr.Emit(now, trace.KindNAK, m.Line, m.TxnID, int32(m.NakOf), int32(c.p.RetryDelay))
-			c.st = sWaitRetry
-			c.retryAt = now + int64(c.p.RetryDelay)
+			c.nak(m, now)
+		} else if c.st == sWaitInterrupt && m.Line == c.curLine && m.NakOf == msg.KillReq {
+			// The home refused a special function on a locked line; retry
+			// it like any NAK'ed request instead of waiting forever for an
+			// interrupt that will never come.
+			c.nak(m, now)
 		}
 	case msg.BusInval:
 		if old, ok := c.l2.Invalidate(m.Line); ok {
@@ -552,6 +659,7 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 		c.InterruptReg |= 1 << uint(m.SrcStation)
 		if c.st == sWaitInterrupt {
 			c.Tr.Emit(now, trace.KindTxnEnd, c.curLine, m.TxnID, int32(c.cur.Kind), int32(c.phase))
+			c.retryDone(now)
 			c.lastResult = 0
 			c.st = sThink
 			c.thinkUntil = now + 1

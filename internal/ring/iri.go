@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"numachine/internal/fault"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
 	"numachine/internal/sim"
@@ -16,14 +17,22 @@ import (
 type IRI struct {
 	RingID int // the local ring this interface serves
 
-	p     sim.Params
-	upQ   *sim.Queue[*msg.Packet]
-	downQ *sim.Queue[*msg.Packet]
+	p       sim.Params
+	credits *Credits
+	upQ     *sim.Queue[*msg.Packet]
+	downQ   *sim.Queue[*msg.Packet]
 
 	// UpDelay feeds Figure 18b (average delay in the upward path of the
 	// central ring interface).
 	UpDelay   monitor.Sampler
 	DownDelay monitor.Sampler
+
+	// Fault, when non-nil, loses droppable request packets as they switch
+	// between ring levels; the packet's flow-control credit is returned so
+	// the drop cannot wedge the sender's nonsinkable budget. Drops counts
+	// the injected losses.
+	Fault *fault.Comp
+	Drops monitor.Counter
 
 	// Tr is the structured-event trace sink (nil when tracing is off).
 	// Switch events fire only on pushes into the up/down FIFOs, which
@@ -32,13 +41,16 @@ type IRI struct {
 	Tr *trace.Sink
 }
 
-// NewIRI builds the interface for local ring ringID.
-func NewIRI(p sim.Params, ringID int) *IRI {
+// NewIRI builds the interface for local ring ringID. credits is the
+// station flow-control accounting (may be nil in unit tests); the IRI
+// needs it to return the credit of a packet the fault injector loses.
+func NewIRI(p sim.Params, ringID int, credits *Credits) *IRI {
 	i := &IRI{
-		RingID: ringID,
-		p:      p,
-		upQ:    sim.NewQueue[*msg.Packet](p.IRIFIFO),
-		downQ:  sim.NewQueue[*msg.Packet](p.IRIFIFO),
+		RingID:  ringID,
+		p:       p,
+		credits: credits,
+		upQ:     sim.NewQueue[*msg.Packet](p.IRIFIFO),
+		downQ:   sim.NewQueue[*msg.Packet](p.IRIFIFO),
 	}
 	// Observed at the end of the cycle, after the ring phases that push and
 	// pop these FIFOs, hence prePush=false.
@@ -91,6 +103,18 @@ func (l localPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 			// Ascending packet: ring interfaces to higher-level rings always
 			// switch these up (§2.2).
 			if !i.upQ.Full() {
+				// Drop fault: the request is lost in the switch. The draw
+				// happens only for droppable types on an occupied-slot
+				// edge, which every cycle loop ticks.
+				if pkt.Msg.Type.Droppable() && i.Fault.Drop() {
+					i.Drops.Inc()
+					i.Tr.Emit(now, trace.KindFaultDrop, pkt.Msg.Line, pkt.Msg.TxnID,
+						int32(pkt.Msg.Type), 1)
+					if i.credits != nil {
+						i.credits.Release(pkt.Msg.SrcStation)
+					}
+					return nil
+				}
 				pkt.ReadyAt = now + int64(i.p.IRICycles)
 				i.upQ.Push(pkt, now)
 				i.Tr.Emit(now, trace.KindFlitSwitch, pkt.Msg.Line, pkt.Msg.TxnID,
@@ -144,6 +168,22 @@ func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 	if pkt != nil {
 		if pkt.Mask.Rings&(1<<uint(i.RingID)) != 0 && pkt.Sequenced {
 			if !i.downQ.Full() {
+				// Drop fault: the descending copy is lost. Droppable
+				// requests are unicast, so clearing this ring's bit
+				// normally consumes the packet and frees its credit.
+				if pkt.Msg.Type.Droppable() && i.Fault.Drop() {
+					i.Drops.Inc()
+					i.Tr.Emit(now, trace.KindFaultDrop, pkt.Msg.Line, pkt.Msg.TxnID,
+						int32(pkt.Msg.Type), 2)
+					pkt.Mask.Rings &^= 1 << uint(i.RingID)
+					if pkt.Mask.Rings == 0 {
+						if i.credits != nil {
+							i.credits.Release(pkt.Msg.SrcStation)
+						}
+						return nil
+					}
+					return pkt
+				}
 				// Copy the packet downward, clearing the higher-level field.
 				cp := *pkt
 				cp.Mask.Rings = 0

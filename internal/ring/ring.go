@@ -20,6 +20,7 @@
 package ring
 
 import (
+	"numachine/internal/fault"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
 	"numachine/internal/sim"
@@ -70,6 +71,12 @@ type Ring struct {
 	Util monitor.Utilization
 	// Stalls counts ring-halt ticks due to flow control.
 	Stalls monitor.Counter
+
+	// Fault, when non-nil, degrades the ring: edges inside the injector's
+	// outage windows are halted like flow-control stalls. FaultStalls
+	// counts the edges lost to degradation.
+	Fault       *fault.Comp
+	FaultStalls monitor.Counter
 
 	// Tr is the structured-event trace sink (nil when tracing is off).
 	// Ring events are emitted only from edges every cycle loop ticks —
@@ -181,6 +188,16 @@ func (r *Ring) Tick(now int64) {
 			return
 		}
 	}
+	// Degraded-link fault: halt the edge — but only when the edge has work
+	// (occupied slots or an injection ready now). The condition matches
+	// NextWork's wake predicate exactly, so every loop evaluates it on the
+	// same set of edges and stall counts and traces stay loop-invariant;
+	// a workless edge inside an outage window moves nothing anyway.
+	if r.Fault.Stalled(now) && r.hasWork(now) {
+		r.FaultStalls.Inc()
+		r.Tr.Emit(now, trace.KindFaultStall, 0, 0, int32(r.Occupied()), 0)
+		return
+	}
 	// Let every node examine/replace its current slot.
 	for i, n := range r.nodes {
 		pkt := r.slots[i]
@@ -203,6 +220,22 @@ func (r *Ring) Tick(now int64) {
 	if occ := r.Occupied(); occ > 0 {
 		r.Tr.Emit(now, trace.KindRingOccupancy, 0, 0, int32(occ), 0)
 	}
+}
+
+// hasWork reports whether this edge could move a packet: a slot is
+// occupied, or some node has output ready to inject now.
+func (r *Ring) hasWork(now int64) bool {
+	for _, s := range r.slots {
+		if s != nil {
+			return true
+		}
+	}
+	for _, n := range r.nodes {
+		if n.NextInject(now) <= now {
+			return true
+		}
+	}
+	return false
 }
 
 // Occupied returns the number of full slots (for tests and diagnostics).

@@ -190,7 +190,7 @@ func TestTwoLevelHierarchyCrossRing(t *testing.T) {
 			ris = append(ris, ri)
 			nodes = append(nodes, ri)
 		}
-		iri := NewIRI(p, ringID)
+		iri := NewIRI(p, ringID, credits)
 		iris = append(iris, iri)
 		nodes = append(nodes, iri.LocalPort())
 		centralNodes = append(centralNodes, iri.CentralPort())

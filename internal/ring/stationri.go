@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"numachine/internal/fault"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
 	"numachine/internal/sim"
@@ -73,6 +74,14 @@ type StationRI struct {
 	Delivered monitor.Counter
 	Injected  monitor.Counter
 
+	// Fault, when non-nil, injects transient packet faults at this
+	// interface: droppable requests vanish at injection time, and
+	// dup-safe responses are packetized twice. Drops and Dups count the
+	// injected faults.
+	Fault *fault.Comp
+	Drops monitor.Counter
+	Dups  monitor.Counter
+
 	// Tr is the structured-event trace sink (nil when tracing is off).
 	// BusDeliver emits from the owning station's phase-1 worker; the
 	// HandleSlot/Tick emissions come from the serial phase 2 — never both
@@ -132,16 +141,27 @@ func (r *StationRI) BusDeliver(m *msg.Message, now int64) {
 	if !m.Type.Sinkable() {
 		q = r.nonsinkQ
 	}
-	for i := 0; i < n; i++ {
-		q.Push(&msg.Packet{
-			Msg:        m,
-			Seq:        i,
-			Of:         n,
-			Mask:       mask,
-			Sequenced:  m.Type != msg.Invalidate,
-			EnqueuedAt: now,
-			ReadyAt:    now + int64(r.p.RIPackCycles),
-		}, now)
+	// Duplication fault: packetize the whole message twice. The RNG is
+	// drawn only for dup-safe types at this real-work event, which every
+	// cycle loop executes identically, so faulted runs stay bit-identical.
+	copies := 1
+	if m.Type.DupSafe() && r.Fault.Dup() {
+		copies = 2
+		r.Dups.Inc()
+		r.Tr.Emit(now, trace.KindFaultDup, m.Line, m.TxnID, int32(m.Type), int32(n))
+	}
+	for c := 0; c < copies; c++ {
+		for i := 0; i < n; i++ {
+			q.Push(&msg.Packet{
+				Msg:        m,
+				Seq:        i,
+				Of:         n,
+				Mask:       mask,
+				Sequenced:  m.Type != msg.Invalidate,
+				EnqueuedAt: now,
+				ReadyAt:    now + int64(r.p.RIPackCycles),
+			}, now)
+		}
 	}
 }
 
@@ -182,6 +202,20 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 		// Nonsinkable messages are single packets; each consumes a credit.
 		if r.credits == nil || r.credits.TryAcquire(pk.Msg.SrcStation) {
 			r.nonsinkQ.Pop(now)
+			// Drop fault: the request vanishes at injection time. The
+			// credit goes back (the message never enters the network) and
+			// the sender's loss timeout recovers the transaction. The RNG
+			// is drawn only for droppable types at this injection event,
+			// which every cycle loop reaches identically.
+			if pk.Msg.Type.Droppable() && r.Fault.Drop() {
+				if r.credits != nil {
+					r.credits.Release(pk.Msg.SrcStation)
+				}
+				r.Drops.Inc()
+				r.Tr.Emit(now, trace.KindFaultDrop, pk.Msg.Line, pk.Msg.TxnID,
+					int32(pk.Msg.Type), 0)
+				return nil
+			}
 			r.SendDelay.Sample(now - pk.EnqueuedAt)
 			r.Injected.Inc()
 			r.Tr.Emit(now, trace.KindFlitInject, pk.Msg.Line, pk.Msg.TxnID,

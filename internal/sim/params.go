@@ -26,6 +26,17 @@ type Params struct {
 	L2FillCycles     int // writing a fetched line into the L2
 	RetryDelay       int // back-off before re-issuing a NAK'ed request
 
+	// Adaptive NAK retry. With RetryBackoff off (the default), every NAK
+	// re-issues after exactly RetryDelay cycles, reproducing the
+	// prototype's fixed back-off. With it on, consecutive NAKs of the
+	// same reference double the delay up to RetryMaxDelay and add a
+	// deterministic per-requester jitter in [0, delay/2) drawn from a
+	// PRNG seeded with RetryJitterSeed, breaking up retry convoys while
+	// keeping all cycle loops bit-identical.
+	RetryBackoff    bool
+	RetryMaxDelay   int    // exponential back-off ceiling in cycles
+	RetryJitterSeed uint64 // base seed for the per-requester jitter PRNGs
+
 	// Station bus timing.
 	BusArbCycles  int // arbitration latency once the bus is free
 	BusCmdCycles  int // occupancy of a command-only transfer
@@ -59,6 +70,16 @@ type Params struct {
 	// many cycles (0 disables). Catches protocol deadlocks in development.
 	DeadlockCycles int64
 
+	// Forward-progress monitor (sampled on the same watchdog schedule, so
+	// detection cycles are identical under every cycle loop).
+	// StarvationWindows aborts when one processor sits in a memory-wait
+	// state with no completed reference for that many consecutive
+	// watchdog windows while the rest of the machine progresses
+	// (0 disables). MaxRetries aborts when a single reference accumulates
+	// more than this many consecutive NAKs (0 disables).
+	StarvationWindows int
+	MaxRetries        int
+
 	// TraceLine, when non-zero, makes every component log its handling of
 	// messages for that line address to stdout — the software analogue of
 	// attaching the monitoring hardware's trace memory to one line.
@@ -80,6 +101,7 @@ func DefaultParams() Params {
 		ProcMissOverhead: 20,
 		L2FillCycles:     8,
 		RetryDelay:       24,
+		RetryMaxDelay:    1024,
 
 		BusArbCycles:  2,
 		BusCmdCycles:  3,
@@ -109,7 +131,8 @@ func DefaultParams() Params {
 		OptimisticUpgrades: true,
 		NCEnabled:          true,
 
-		DeadlockCycles: 3_000_000,
+		DeadlockCycles:    3_000_000,
+		StarvationWindows: 8,
 	}
 }
 

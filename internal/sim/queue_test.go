@@ -68,8 +68,8 @@ func TestQueueStatsAccounting(t *testing.T) {
 	q.Pop(10)   // delay 10
 	q.Observe() // depth 2
 	q.Observe() // depth 2
-	q.Pop(10) // delay 10
-	q.Pop(20) // delay 16
+	q.Pop(10)   // delay 10
+	q.Pop(20)   // delay 16
 	s := q.Stats()
 	if s.Enqueued != 3 {
 		t.Errorf("enqueued = %d", s.Enqueued)

@@ -153,7 +153,10 @@ func (s *Server) serveHTML(w http.ResponseWriter, r *http.Request) {
 		100*snap.Results.CentralRingUtil,
 		100*snap.NCRates.Hit, 100*snap.NCRates.Migration,
 		100*snap.NCRates.Caching, 100*snap.NCRates.Combining,
-		snap.Results.NC.Requests, snap.Results.Mem.Transactions)
+		snap.Results.NC.Requests, snap.Results.Mem.Transactions,
+		snap.Results.Proc.NAKRetries, snap.Results.Proc.RetryStreaks,
+		snap.Results.Fault.Drops, snap.Results.Fault.Dups,
+		snap.Results.Fault.TimeoutReissues)
 }
 
 // htmlPage self-refreshes so a browser left open follows the run live.
@@ -175,6 +178,9 @@ const htmlPage = `<!DOCTYPE html>
 <tr><td>NC combining rate</td><td>%.1f%%</td></tr>
 <tr><td>NC requests</td><td>%d</td></tr>
 <tr><td>memory transactions</td><td>%d</td></tr>
+<tr><td>NAK retries</td><td>%d (%d refs retried)</td></tr>
+<tr><td>fault drops / dups</td><td>%d / %d</td></tr>
+<tr><td>timeout re-issues</td><td>%d</td></tr>
 </table>
 <p><a href="/metrics.json">metrics.json</a></p>
 </body></html>

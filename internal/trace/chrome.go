@@ -144,6 +144,12 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 				Scope: "t",
 				Args:  map[string]any{"line": flowID, "a": e.A, "b": e.B},
 			})
+		case KindFaultDrop, KindFaultDup, KindFaultStall:
+			evs = append(evs, chromeEvent{
+				Name: e.Kind.String(), Cat: "fault", Ph: "i", Ts: ts, Pid: pid, Tid: tid,
+				Scope: "t",
+				Args:  map[string]any{"line": flowID, "a": e.A, "b": e.B},
+			})
 		case KindQueueDepth:
 			evs = append(evs, chromeEvent{
 				Name: m.Name + " depth", Ph: "C", Ts: ts, Pid: pid, Tid: tid,

@@ -98,6 +98,16 @@ const (
 	// KindRingStall: a ring-clock edge lost to flow control. A = occupied
 	// slots at the halt.
 	KindRingStall
+	// KindFaultDrop: the fault injector lost a request packet. A = message
+	// type, B = 0 at a ring-interface injection point, 1 ascending and 2
+	// descending through an inter-ring interface.
+	KindFaultDrop
+	// KindFaultDup: the fault injector duplicated a sinkable network
+	// message at packetization. A = message type, B = packet count per copy.
+	KindFaultDup
+	// KindFaultStall: a ring-clock edge lost to an injected degrade
+	// window. A = occupied slots at the halt.
+	KindFaultStall
 
 	kindCount
 )
@@ -111,7 +121,8 @@ var kindNames = [...]string{
 	KindFlitEnqueue: "FlitEnqueue", KindFlitInject: "FlitInject",
 	KindFlitArrive: "FlitArrive", KindFlitDeliver: "FlitDeliver",
 	KindFlitSwitch: "FlitSwitch", KindRingOccupancy: "RingOccupancy",
-	KindRingStall: "RingStall",
+	KindRingStall: "RingStall", KindFaultDrop: "FaultDrop",
+	KindFaultDup: "FaultDup", KindFaultStall: "FaultStall",
 }
 
 // String returns the event-kind mnemonic.
