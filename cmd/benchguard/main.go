@@ -1,0 +1,127 @@
+// benchguard compares a freshly generated benchmark manifest (BENCH_5.json,
+// produced by `BENCH_JSON=... go test -run TestBenchJSON .`) against the
+// committed baseline and fails when fast-path throughput regresses beyond a
+// threshold on any workload row present in both files.
+//
+// Wall-clock numbers vary across runners, so the guard compares ratios of
+// refs/sec within one machine's run against ratios within the baseline run
+// only indirectly: the primary check is per-row fast-hits refs/sec against
+// the baseline row, with a generous default threshold (20%) meant to catch
+// structural regressions (a dead horizon tier, a serialized loop), not
+// scheduler jitter. -soft downgrades failures to warnings for noisy CI
+// runners while still printing the full comparison table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type mode struct {
+	WallNS       int64   `json:"wall_ns"`
+	RefsPerSec   float64 `json:"refs_per_sec"`
+	NSPerCycle   float64 `json:"ns_per_sim_cycle"`
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+}
+
+type entry struct {
+	Name      string  `json:"name"`
+	Procs     int     `json:"procs"`
+	Size      int     `json:"size"`
+	Refs      int64   `json:"refs"`
+	SimCycles int64   `json:"sim_cycles"`
+	FastHits  mode    `json:"fast_hits"`
+	SlowPath  mode    `json:"slow_path"`
+	Speedup   float64 `json:"speedup_refs_per_sec"`
+}
+
+type manifest struct {
+	Schema    string  `json:"schema"`
+	Loop      string  `json:"loop"`
+	Workloads []entry `json:"workloads"`
+}
+
+func load(path string) (*manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &m, nil
+}
+
+func key(e entry) string { return fmt.Sprintf("%s/p%d/s%d", e.Name, e.Procs, e.Size) }
+
+func main() {
+	baselinePath := flag.String("baseline", "bench_baseline_5.json", "committed baseline manifest")
+	currentPath := flag.String("current", "BENCH_5.json", "freshly generated manifest")
+	threshold := flag.Float64("threshold", 0.20, "max tolerated fractional refs/sec regression")
+	soft := flag.Bool("soft", false, "report regressions but exit 0")
+	flag.Parse()
+
+	base, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if base.Schema != cur.Schema {
+		fmt.Fprintf(os.Stderr, "benchguard: schema mismatch: baseline %q vs current %q\n",
+			base.Schema, cur.Schema)
+		os.Exit(2)
+	}
+
+	baseRows := make(map[string]entry, len(base.Workloads))
+	for _, e := range base.Workloads {
+		baseRows[key(e)] = e
+	}
+
+	regressed := 0
+	compared := 0
+	for _, c := range cur.Workloads {
+		b, ok := baseRows[key(c)]
+		if !ok {
+			fmt.Printf("%-24s new row (no baseline), fast=%.0f refs/s\n", key(c), c.FastHits.RefsPerSec)
+			continue
+		}
+		compared++
+		// The simulation is deterministic: differing refs or cycles means
+		// the workload itself changed, and throughput comparison would be
+		// apples to oranges.
+		if c.Refs != b.Refs || c.SimCycles != b.SimCycles {
+			fmt.Printf("%-24s workload changed (refs %d->%d cycles %d->%d); skipping throughput check\n",
+				key(c), b.Refs, c.Refs, b.SimCycles, c.SimCycles)
+			continue
+		}
+		delta := c.FastHits.RefsPerSec/b.FastHits.RefsPerSec - 1
+		status := "ok"
+		if delta < -*threshold {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-24s fast %9.0f -> %9.0f refs/s (%+6.1f%%)  speedup %.2fx -> %.2fx  %s\n",
+			key(c), b.FastHits.RefsPerSec, c.FastHits.RefsPerSec, 100*delta,
+			b.Speedup, c.Speedup, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no comparable rows between baseline and current")
+		os.Exit(2)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d of %d rows regressed more than %.0f%%\n",
+			regressed, compared, *threshold*100)
+		if !*soft {
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "benchguard: -soft set; not failing the build")
+	}
+}

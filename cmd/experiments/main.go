@@ -37,6 +37,7 @@ import (
 
 	"numachine/internal/core"
 	"numachine/internal/experiments"
+	"numachine/internal/profile"
 	"numachine/internal/workloads"
 )
 
@@ -47,11 +48,21 @@ func main() {
 	parallel := flag.Bool("parallel", false, "station-parallel cycle loop inside each simulation")
 	traceDir := flag.String("trace-dir", "", "capture a Perfetto trace per sweep point into this directory")
 	traceEvt := flag.Int("trace-events", 0, "per-component trace ring-buffer capacity (0 = default)")
+	prof := profile.AddFlags()
 	flag.Parse()
 	what := flag.Arg(0)
 	if what == "" {
 		what = "all"
 	}
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fatal(err)
+		}
+	}()
 
 	var procs []int
 	for _, f := range strings.Split(*procsFlag, ",") {

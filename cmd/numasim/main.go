@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"numachine/internal/core"
+	"numachine/internal/profile"
 	"numachine/internal/telemetry"
 	"numachine/internal/topo"
 	"numachine/internal/trace"
@@ -38,6 +39,7 @@ func main() {
 		noSC     = flag.Bool("no-sc-locking", false, "disable sequential-consistency locking (§2.3 ablation)")
 		par      = flag.Bool("parallel", false, "station-parallel cycle loop (bit-identical; needs multiple cores to pay off)")
 		naive    = flag.Bool("naive", false, "reference per-cycle loop instead of the event-aware scheduler")
+		fastHits = flag.Bool("fast-hits", true, "resolve cache hits in the workload front end (bit-identical; disable to A/B against the lock-step handshake)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
 
 		faultSpec = flag.String("fault-spec", "", "fault schedule, e.g. 'drop=2e-4,dup=1e-4,freeze-mem=50000:400,degrade-ring=20000:300' (empty = fault-free)")
@@ -50,6 +52,7 @@ func main() {
 		sample   = flag.Int64("sample", 50_000, "cycles between live-metrics snapshots")
 		hold     = flag.Bool("hold", false, "with -http: keep serving after the run completes (ctrl-C to exit)")
 	)
+	prof := profile.AddFlags()
 	flag.Parse()
 
 	if *list {
@@ -57,6 +60,11 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
 	}
 
 	cfg := core.DefaultConfig()
@@ -69,6 +77,7 @@ func main() {
 	}
 	cfg.ParallelStations = *par
 	cfg.NaiveLoop = *naive
+	cfg.FastHits = *fastHits
 	cfg.FaultSpec = *faultSpec
 	cfg.FaultSeed = *faultSeed
 	if *backoff || *faultSpec != "" {
@@ -112,6 +121,9 @@ func main() {
 	}
 
 	cycles := m.Run()
+	if err := stopProf(); err != nil {
+		fatal(err)
+	}
 	if srv != nil {
 		srv.Publish(telemetry.SnapshotOf(m, inst.Name, loop, true))
 	}

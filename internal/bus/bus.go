@@ -175,6 +175,60 @@ func (b *Bus) deliver(m *msg.Message, now int64) {
 	}
 }
 
+// Quiet reports whether the bus is idle AND no module has pending output —
+// nothing can be granted this cycle. Used by the fast-hit horizon.
+func (b *Bus) Quiet(now int64) bool {
+	if !b.Idle(now) {
+		return false
+	}
+	for _, q := range b.outs {
+		if q != nil && !q.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+// HitHorizon returns a sound lower bound on the earliest cycle at which a
+// transfer could be *delivered* to the processor at local index `local`,
+// seen from the CPU phase of cycle now (the bus ticks after the CPUs
+// within a cycle, so a probe at cycle t precedes any delivery at t):
+//
+//   - a granted transfer addressed to this processor completes at
+//     max(now, busyUntil) — probes up to that cycle are still exact;
+//   - any other delivery needs a fresh grant, which cannot complete in
+//     fewer than BusArbCycles+BusCmdCycles after the bus frees.
+//
+// The bound deliberately ignores the out-queues: a message granted at the
+// bus phase of cycle t delivers no earlier than t+arb+cmd, so queued (or
+// even same-cycle-pushed) messages can never beat the returned horizon.
+func (b *Bus) HitHorizon(local int, now int64) int64 {
+	arbcmd := int64(b.p.BusArbCycles + b.p.BusCmdCycles)
+	free := b.busyUntil
+	if free < now {
+		free = now
+	}
+	if b.inFlight != nil && b.deliversToProc(b.inFlight, local) {
+		return free
+	}
+	return free + arbcmd
+}
+
+// deliversToProc mirrors deliver's routing: does m reach the processor at
+// local bus index `local`?
+func (b *Bus) deliversToProc(m *msg.Message, local int) bool {
+	if m.DstMod == b.g.ModRI() {
+		return false
+	}
+	switch m.Type {
+	case msg.BusInval, msg.BusIntervention, msg.NetInterrupt, msg.NetBarrier:
+		return m.BusProcs&(1<<uint(local)) != 0
+	case msg.IntervResp:
+		return m.AlsoProc == local || m.DstMod == b.g.ModProc(local)
+	}
+	return m.DstMod == b.g.ModProc(local)
+}
+
 // Busy reports whether a transfer is occupying the bus.
 func (b *Bus) Busy(now int64) bool { return now < b.busyUntil }
 

@@ -59,6 +59,15 @@ type Config struct {
 	// 0 means GOMAXPROCS.
 	StationWorkers int
 
+	// FastHits resolves L1/L2 cache hits synchronously in the workload
+	// goroutine within a back-end-published delivery horizon, banking hit
+	// cycles into Ref.Pre like compute coalescing — zero channel operations
+	// per hit (see internal/proc/fasthits.go and DESIGN.md "Front-end hit
+	// filtering"). Results and traces are bit-identical with it on or off;
+	// the equivalence suites enforce this across all three cycle loops and
+	// faulted schedules. DefaultConfig enables it.
+	FastHits bool
+
 	// FaultSpec selects the deterministic fault-injection schedule (see
 	// fault.ParseSpec); the empty string disables injection entirely and
 	// reproduces the fault-free machine byte for byte. FaultSeed seeds
@@ -90,6 +99,7 @@ func DefaultConfig() Config {
 		Params:    sim.DefaultParams(),
 		L1Lines:   256, // 16 KB / 64 B, R4400 on-chip data cache
 		Placement: RoundRobin,
+		FastHits:  true,
 	}
 }
 
@@ -135,6 +145,18 @@ type Machine struct {
 	// at the same cycle in every loop.
 	watchdogAt int64
 
+	// Per-cycle memo of Quiesced() for the fast-hit tier-3 horizon: every
+	// deep-idle window open on the same cycle shares one machine scan.
+	// quiescedAt is the cycle the memo was taken (-1 = none yet).
+	quiescedAt int64
+	quiescedOK bool
+
+	// Per-cycle memo of remoteTransitFloor for the fast-hit tier-2.5
+	// horizon (transitAt = cycle taken; -1 = none yet).
+	transitAt    int64
+	transitOK    bool
+	transitFloor int64
+
 	// Quiescence scheduler (nil when Cfg.NaiveLoop): per-component ids into
 	// sched, in the same order the components are ticked.
 	sched     *sim.Scheduler
@@ -145,6 +167,27 @@ type Machine struct {
 	idRIs     []int
 	idLocals  []int
 	idCentral int
+
+	// Poll caches for the serial scheduled loop (see stepScheduled): the
+	// cycle at which each component's activity gate must next be consulted.
+	// A cached entry is either the component's own last NextWork report or
+	// an influence mark set when a component that can hand it work ticked.
+	// ringOf maps a station to its local-ring index.
+	pollCPU     []int64
+	pollBus     []int64
+	pollMem     []int64
+	pollNC      []int64
+	pollRI      []int64
+	pollLocal   []int64
+	pollCentral int64
+	ringOf      []int
+
+	// liveCPU marks processors with a loaded program. The others sit in
+	// sDone forever, so the bus influence mark skips them and their poll
+	// cache stays at sim.Never after the first pass — a machine bigger than
+	// the workload's P costs one comparison per idle CPU per cycle, not a
+	// NextWork call.
+	liveCPU []bool
 
 	// FastForwarded counts cycles skipped by quiescence fast-forwarding.
 	FastForwarded monitor.Counter
@@ -171,12 +214,14 @@ func New(cfg Config) (*Machine, error) {
 	}
 	g, p := cfg.Geom, cfg.Params
 	m := &Machine{
-		Cfg:      cfg,
-		g:        g,
-		p:        p,
-		pageHome: make(map[uint64]int),
-		heapNext: uint64(p.PageSize), // keep address 0 unused
-		Phases:   monitor.NewPhaseIDs(g.Procs()),
+		Cfg:        cfg,
+		g:          g,
+		p:          p,
+		pageHome:   make(map[uint64]int),
+		heapNext:   uint64(p.PageSize), // keep address 0 unused
+		Phases:     monitor.NewPhaseIDs(g.Procs()),
+		quiescedAt: -1,
+		transitAt:  -1,
 	}
 	// Build the injector only for a non-zero spec: a nil injector keeps
 	// every hook inert and fault-free runs byte-identical.
@@ -218,6 +263,17 @@ func New(cfg Config) (*Machine, error) {
 	m.buildRings()
 	if !cfg.NaiveLoop {
 		m.buildScheduler()
+		m.pollCPU = make([]int64, g.Procs())
+		m.pollBus = make([]int64, g.Stations())
+		m.pollMem = make([]int64, g.Stations())
+		m.pollNC = make([]int64, g.Stations())
+		m.pollRI = make([]int64, g.Stations())
+		m.pollLocal = make([]int64, g.Rings)
+		m.liveCPU = make([]bool, g.Procs())
+		m.ringOf = make([]int, g.Stations())
+		for s := range m.ringOf {
+			m.ringOf[s] = g.RingOf(s)
+		}
 	}
 	if cfg.LoopName() == "parallel" {
 		for s := 0; s < g.Stations(); s++ {
@@ -451,6 +507,9 @@ func (m *Machine) fireBarriers() {
 	for _, r := range m.barrier.releases {
 		if r.at <= m.now {
 			r.cpu.FinishBarrier(m.now)
+			if m.pollCPU != nil {
+				m.pollCPU[r.cpu.GlobalID] = m.now
+			}
 		} else {
 			kept = append(kept, r)
 		}
@@ -473,7 +532,18 @@ func (m *Machine) Load(progs []proc.Program) {
 	for i, pr := range progs {
 		m.runners[i] = proc.NewRunner(i, len(progs), pr)
 		m.CPUs[i].SetRunner(m.runners[i])
+		if m.Cfg.FastHits {
+			m.CPUs[i].Horizon = m.hitHorizonFor(m.CPUs[i])
+			m.CPUs[i].EnableFastHits()
+		}
 	}
+	if m.liveCPU == nil {
+		m.liveCPU = make([]bool, len(m.CPUs))
+	}
+	for i := range m.liveCPU {
+		m.liveCPU[i] = m.runners[i] != nil
+	}
+	m.resetPolls()
 }
 
 // Step advances the machine one cycle in the fixed deterministic order:
@@ -530,51 +600,159 @@ func (m *Machine) stepNaive() {
 
 // stepScheduled is the gated cycle; it returns how many components ticked
 // (0 means the whole machine was quiescent this cycle and the run loop may
-// fast-forward to the next scheduled event).
+// fast-forward to cachedWake()).
+//
+// The poll caches make the gate pass cost proportional to the components
+// that are (or might be) active rather than to the machine size. A cached
+// entry pollX[i] > now means component i's last NextWork report (or an
+// influence mark, below) proved it cannot do work this cycle, so the gate
+// is one comparison. The cache is invalidated exactly where work can be
+// handed over, following the machine's data flow within the fixed tick
+// order:
+//
+//	CPU tick      -> its bus this cycle (request pushed to BusOut);
+//	bus tick      -> mem/NC/RI/local ring this cycle (deliveries and RI
+//	                 packetization happen inside the bus tick; all four are
+//	                 gated after the buses), its live CPUs next cycle;
+//	mem/NC tick   -> its bus next cycle (responses queued to BusOut);
+//	RI tick       -> its bus next cycle (reassembled messages to BusOut);
+//	local tick    -> member RIs next cycle (slot consumption lands in the
+//	                 RI input FIFO), the central ring this cycle (ascending
+//	                 packets into the IRI up-FIFO), itself next cycle;
+//	central tick  -> every local ring next cycle (descending packets into
+//	                 the IRI down-FIFOs), itself next cycle;
+//	barrier fire  -> the released CPU this cycle (fireBarriers runs before
+//	                 the CPU phase).
+//
+// Everything else a tick does is invisible to NextWork (credit releases
+// and FIFO pops can only remove work, so a stale-early cache merely costs
+// a re-poll).
 func (m *Machine) stepScheduled() int {
 	now := m.now
 	ticked := 0
 	m.fireBarriers()
-	for _, c := range m.CPUs {
-		if c.NextWork(now) <= now {
+	for i, c := range m.CPUs {
+		if m.pollCPU[i] > now {
+			continue
+		}
+		if w := c.NextWork(now); w <= now {
 			c.Tick(now)
 			ticked++
+			m.pollCPU[i] = now + 1
+			if s := c.Station; m.pollBus[s] > now {
+				m.pollBus[s] = now
+			}
+		} else {
+			m.pollCPU[i] = w
 		}
 	}
-	for _, b := range m.Buses {
-		if b.NextWork(now) <= now {
+	for s, b := range m.Buses {
+		if m.pollBus[s] > now {
+			continue
+		}
+		if w := b.NextWork(now); w <= now {
 			b.Tick(now)
 			ticked++
+			m.pollBus[s] = now + 1
+			if m.pollMem[s] > now {
+				m.pollMem[s] = now
+			}
+			if m.pollNC[s] > now {
+				m.pollNC[s] = now
+			}
+			if m.pollRI[s] > now {
+				m.pollRI[s] = now
+			}
+			if r := m.ringOf[s]; m.pollLocal[r] > now {
+				m.pollLocal[r] = now
+			}
+			first := m.g.ProcAt(s, 0)
+			for i := first; i < first+m.g.ProcsPerStation; i++ {
+				if m.liveCPU[i] && m.pollCPU[i] > now+1 {
+					m.pollCPU[i] = now + 1
+				}
+			}
+		} else {
+			m.pollBus[s] = w
 		}
 	}
-	for _, mem := range m.Mems {
-		if mem.NextWork(now) <= now {
+	for s, mem := range m.Mems {
+		if m.pollMem[s] > now {
+			continue
+		}
+		if w := mem.NextWork(now); w <= now {
 			mem.Tick(now)
 			ticked++
+			m.pollMem[s] = now + 1
+			if m.pollBus[s] > now+1 {
+				m.pollBus[s] = now + 1
+			}
+		} else {
+			m.pollMem[s] = w
 		}
 	}
-	for _, nc := range m.NCs {
-		if nc.NextWork(now) <= now {
+	for s, nc := range m.NCs {
+		if m.pollNC[s] > now {
+			continue
+		}
+		if w := nc.NextWork(now); w <= now {
 			nc.Tick(now)
 			ticked++
+			m.pollNC[s] = now + 1
+			if m.pollBus[s] > now+1 {
+				m.pollBus[s] = now + 1
+			}
+		} else {
+			m.pollNC[s] = w
 		}
 	}
-	for _, ri := range m.RIs {
-		if ri.NextWork(now) <= now {
+	for s, ri := range m.RIs {
+		if m.pollRI[s] > now {
+			continue
+		}
+		if w := ri.NextWork(now); w <= now {
 			ri.Tick(now)
 			ticked++
+			m.pollRI[s] = now + 1
+			if m.pollBus[s] > now+1 {
+				m.pollBus[s] = now + 1
+			}
+		} else {
+			m.pollRI[s] = w
 		}
 	}
-	for _, lr := range m.Locals {
-		if lr.NextWork(now) <= now {
+	for r, lr := range m.Locals {
+		if m.pollLocal[r] > now {
+			continue
+		}
+		if w := lr.NextWork(now); w <= now {
 			lr.Tick(now)
 			ticked++
+			m.pollLocal[r] = now + 1
+			for pos := 0; pos < m.g.StationsPerRing; pos++ {
+				if s := m.g.StationAt(r, pos); m.pollRI[s] > now+1 {
+					m.pollRI[s] = now + 1
+				}
+			}
+			if m.Central != nil && m.pollCentral > now {
+				m.pollCentral = now
+			}
+		} else {
+			m.pollLocal[r] = w
 		}
 	}
-	if m.Central != nil {
-		if m.Central.NextWork(now) <= now {
+	if m.Central != nil && m.pollCentral <= now {
+		if w := m.Central.NextWork(now); w <= now {
 			m.Central.Tick(now)
 			ticked++
+			m.pollCentral = now + 1
+			for r := range m.Locals {
+				if m.pollLocal[r] > now+1 {
+					m.pollLocal[r] = now + 1
+				}
+			}
+		} else {
+			m.pollCentral = w
 		}
 	}
 	if now&31 == 0 {
@@ -584,6 +762,81 @@ func (m *Machine) stepScheduled() int {
 	}
 	m.now++
 	return ticked
+}
+
+// cachedWake returns the earliest future cycle at which any component or
+// pending barrier release can do work, read straight from the poll caches.
+// It is only meaningful immediately after a fully quiescent stepScheduled
+// pass: nothing ticked, so every cache entry was either freshly polled or
+// already proved future, and their minimum is a sound floor on the next
+// event. (A floor, not an exact time — influence marks may be one cycle
+// early — so a jump may land short and re-step; that costs one gated pass,
+// never correctness.)
+func (m *Machine) cachedWake() int64 {
+	wake := m.pollCentral
+	for _, at := range m.pollCPU {
+		if at < wake {
+			wake = at
+		}
+	}
+	for _, at := range m.pollBus {
+		if at < wake {
+			wake = at
+		}
+	}
+	for _, at := range m.pollMem {
+		if at < wake {
+			wake = at
+		}
+	}
+	for _, at := range m.pollNC {
+		if at < wake {
+			wake = at
+		}
+	}
+	for _, at := range m.pollRI {
+		if at < wake {
+			wake = at
+		}
+	}
+	for _, at := range m.pollLocal {
+		if at < wake {
+			wake = at
+		}
+	}
+	for _, r := range m.barrier.releases {
+		if r.at < wake {
+			wake = r.at
+		}
+	}
+	return wake
+}
+
+// resetPolls discards every poll cache so the next scheduled cycle gates
+// every component afresh. Load calls it (new runners change CPU state
+// outside the loop) and Run calls it on entry.
+func (m *Machine) resetPolls() {
+	if m.pollCPU == nil {
+		return
+	}
+	for i := range m.pollCPU {
+		m.pollCPU[i] = m.now
+	}
+	for s := range m.pollBus {
+		m.pollBus[s] = m.now
+		m.pollMem[s] = m.now
+		m.pollNC[s] = m.now
+		m.pollRI[s] = m.now
+	}
+	for r := range m.pollLocal {
+		m.pollLocal[r] = m.now
+	}
+	// A machine without a central ring must not keep re-gating it: the
+	// entry is folded into cachedWake unconditionally.
+	m.pollCentral = m.now
+	if m.Central == nil {
+		m.pollCentral = sim.Never
+	}
 }
 
 // nextWake returns the earliest future cycle at which any component or
@@ -637,13 +890,18 @@ func (m *Machine) step() {
 		return
 	}
 	ticked := 0
+	wake := sim.Never
 	if m.pool != nil {
 		ticked = m.stepParallel()
+		if ticked == 0 {
+			wake = m.nextWake()
+		}
 	} else {
-		ticked = m.stepScheduled()
+		if ticked = m.stepScheduled(); ticked == 0 {
+			wake = m.cachedWake()
+		}
 	}
 	if ticked == 0 {
-		wake := m.nextWake()
 		if m.watchdogAt > m.now && wake > m.watchdogAt {
 			wake = m.watchdogAt
 		}
@@ -659,6 +917,7 @@ func (m *Machine) step() {
 // deadlock watchdog trips.
 func (m *Machine) Run() int64 {
 	start := m.now
+	m.resetPolls()
 	if m.pool != nil {
 		defer m.pool.Stop() // park the workers between runs (and on panic)
 	}
@@ -789,10 +1048,32 @@ func (m *Machine) SyncStats() {
 	}
 }
 
-// Quiesced reports whether no messages remain anywhere in the machine.
+// Quiesced reports whether no messages remain anywhere in the machine and
+// no memory line is still locked by an unfinished lock transaction.
 func (m *Machine) Quiesced() bool {
+	if !m.deliveryQuiet() {
+		return false
+	}
 	for _, mem := range m.Mems {
-		if !mem.Idle() || mem.PendingLocks() > 0 {
+		if mem.PendingLocks() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// deliveryQuiet reports whether no messages remain anywhere in the
+// machine: every controller idle, every queue empty, every ring drained.
+// Unlike Quiesced it ignores held memory locks — a locked line is passive
+// state, not a message source: nothing emanates from it until some CPU
+// pushes a new request, and that request pays the full grant-plus-
+// directory-stage path like any other. The fast-hit tier-3 horizon
+// therefore gates on this predicate (lock-heavy workloads would otherwise
+// never see a deep window), while fast-forwarding and the public API keep
+// the stricter Quiesced.
+func (m *Machine) deliveryQuiet() bool {
+	for _, mem := range m.Mems {
+		if !mem.Idle() {
 			return false
 		}
 	}
@@ -830,6 +1111,24 @@ func (m *Machine) Quiesced() bool {
 		}
 	}
 	return true
+}
+
+// quiescedThisCycle memoizes deliveryQuiet() per cycle for the fast-hit
+// tier-3 horizon, which may consult it once per handshake: every deep-idle
+// window opened during the same cycle shares a single machine scan. The
+// memo stays sound across one cycle's CPU phase: any activity created
+// after it was taken is CPU-initiated at or after the current cycle, and
+// the tier-3 bound reads each CPU's wake live (a CPU that just went active
+// contributes wake <= now), so the two-transfer argument still covers it.
+// A memo that turns stale in the other direction (machine drained
+// mid-cycle) only under-reports quiescence, which merely narrows the
+// window to tier 2.
+func (m *Machine) quiescedThisCycle() bool {
+	if m.quiescedAt != m.now {
+		m.quiescedAt = m.now
+		m.quiescedOK = m.deliveryQuiet()
+	}
+	return m.quiescedOK
 }
 
 func (m *Machine) totalRefs() int64 {

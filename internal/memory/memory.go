@@ -150,6 +150,7 @@ type Module struct {
 	busy   int64
 	staged *msg.Message // dequeued message being processed until busy
 	txnSeq uint64
+	locks  int // currently locked lines (kept in step by lock/unlock)
 
 	// InitData seeds the DRAM value of untouched lines (tests use it).
 	InitData uint64
@@ -194,16 +195,11 @@ func (m *Module) BusDeliver(x *msg.Message, now int64) {
 // Idle reports whether the module has no queued or in-flight work.
 func (m *Module) Idle() bool { return m.inQ.Empty() && m.outQ.Empty() && m.staged == nil }
 
-// PendingLocks returns the number of locked lines (diagnostics).
-func (m *Module) PendingLocks() int {
-	n := 0
-	for _, e := range m.dir {
-		if e.locked {
-			n++
-		}
-	}
-	return n
-}
+// PendingLocks returns the number of locked lines. Maintained
+// incrementally by lock/unlock: the machine's quiescence check (and, with
+// the fast-hit horizon, every deep-idle window computation) calls this on
+// hot paths, so it must not scan the directory.
+func (m *Module) PendingLocks() int { return m.locks }
 
 // NextWork reports the earliest cycle at or after now at which Tick can do
 // more than occupancy sampling: the end of the current directory/DRAM
@@ -438,11 +434,13 @@ func (m *Module) lock(e *entry, t *txn) {
 	}
 	e.locked = true
 	e.txn = t
+	m.locks++
 }
 
 func (m *Module) unlock(e *entry) {
 	e.locked = false
 	e.txn = nil
+	m.locks--
 }
 
 // remoteSharers reports whether the mask covers stations besides home.

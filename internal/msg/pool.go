@@ -1,0 +1,52 @@
+package msg
+
+// PacketPool is a deterministic free list for ring packets. Packets churn
+// fast — every bus message bound for the network is split into packets at
+// the sending ring interface, copied at every consuming station and at
+// each inter-ring descent, and discarded after reassembly — so they
+// dominate the simulator's steady-state allocation rate. The pool recycles
+// them without any effect on simulated behaviour: a recycled packet is
+// fully overwritten at reuse and zeroed at release, packet pointers are
+// never compared or used as map keys (reassembly is keyed by the *Message*
+// identity, which is not pooled), and the free list is plain LIFO with no
+// time- or scheduling-dependent state, so runs remain bit-identical.
+//
+// Concurrency: a pool is single-owner, like the component that embeds it.
+// The StationRI pool is touched from its own station's phase-1 worker
+// (BusDeliver) and from the serial phase 2 (HandleSlot/Tick), which never
+// overlap; IRI pools are phase-2-only. Packets may die at a different
+// interface than the one that allocated them — cross-pool migration is
+// harmless because every pool recycles the same struct type.
+type PacketPool struct {
+	free []*Packet
+	news int64 // fresh heap allocations (pool misses)
+	hits int64 // recycled packets
+}
+
+// Get returns a zeroed packet, recycling a freed one when available.
+func (p *PacketPool) Get() *Packet {
+	if n := len(p.free) - 1; n >= 0 {
+		pkt := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		p.hits++
+		return pkt
+	}
+	p.news++
+	return new(Packet)
+}
+
+// Put releases a dead packet to the free list. The struct is zeroed
+// immediately so no Message is kept reachable through the pool and any
+// use-after-free reads a visibly blank packet instead of stale routing
+// state.
+func (p *PacketPool) Put(pkt *Packet) {
+	if pkt == nil {
+		return
+	}
+	*pkt = Packet{}
+	p.free = append(p.free, pkt)
+}
+
+// Stats reports fresh allocations and recycled reuses (diagnostics).
+func (p *PacketPool) Stats() (news, hits int64) { return p.news, p.hits }

@@ -1,0 +1,36 @@
+package msg
+
+import "testing"
+
+func TestPacketPoolRecycles(t *testing.T) {
+	var p PacketPool
+	a := p.Get()
+	a.Seq, a.Of, a.ReadyAt = 3, 4, 99
+	a.Msg = &Message{Type: LocalRead}
+	p.Put(a)
+	if a.Msg != nil || a.Seq != 0 || a.ReadyAt != 0 {
+		t.Fatalf("Put did not zero the packet: %+v", a)
+	}
+	b := p.Get()
+	if b != a {
+		t.Error("Get did not recycle the freed packet")
+	}
+	if *b != (Packet{}) {
+		t.Errorf("recycled packet not blank: %+v", b)
+	}
+	news, hits := p.Stats()
+	if news != 1 || hits != 1 {
+		t.Errorf("Stats() = %d,%d; want 1,1", news, hits)
+	}
+	if p.Get() == b {
+		t.Error("Get returned an in-use packet")
+	}
+}
+
+func TestPacketPoolNilPut(t *testing.T) {
+	var p PacketPool
+	p.Put(nil) // must be a no-op
+	if news, hits := p.Stats(); news != 0 || hits != 0 {
+		t.Errorf("Stats() = %d,%d after nil Put; want 0,0", news, hits)
+	}
+}

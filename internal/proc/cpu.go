@@ -107,6 +107,20 @@ type CPU struct {
 	stash    Ref
 	hasStash bool
 
+	// Front-end hit fast path (see fasthits.go). epoch is the coherence
+	// epoch: bumped on every event that can change this CPU's hit/miss
+	// outcomes; the fast path validates its snapshot against it. fastGuard
+	// is the virtual cycle of the last fast-resolved probe — no
+	// cache-affecting delivery may land before it (assertHitWindow).
+	epoch     uint64
+	fastGuard int64
+
+	// Horizon, when non-nil, returns a sound lower bound on the earliest
+	// cycle at which a bus delivery could reach this CPU, given the current
+	// cycle; wired by core from the station bus state. The fast path
+	// resolves hits only at virtual cycles at or below the horizon.
+	Horizon func(now int64) int64
+
 	// HomeOf maps a line to its home station (page placement); wired by core.
 	HomeOf func(line uint64) int
 	// OnBarrier is invoked when the CPU arrives at a barrier; core releases
@@ -279,7 +293,13 @@ func (c *CPU) Tick(now int64) {
 		if c.hasStash {
 			ref, c.hasStash = c.stash, false
 		} else {
+			// The workload goroutine runs only inside Next (the channels
+			// enforce strict alternation), so the fast path may resolve hits
+			// against the live caches; publish its burst window first and
+			// adopt the burst's last probe as the delivery guard after.
+			c.openFastWindow(now)
 			ref = c.runner.Next(c.lastResult)
+			c.adoptFastGuard()
 		}
 		if ref.Pre > 0 {
 			// Burn the coalesced compute prefix first; the reference itself
@@ -515,6 +535,7 @@ func (c *CPU) l1Fill(line uint64) {
 // fill installs a line in the L2 (write-back of the victim included) and
 // completes the current reference.
 func (c *CPU) fill(st cache.State, data uint64, now int64) {
+	c.bumpEpoch() // a fill (and any eviction it forces) changes hit outcomes
 	victim := c.l2.Insert(c.curLine, st, data)
 	if victim.State == cache.Dirty {
 		c.writeBack(victim, now)
@@ -544,6 +565,7 @@ func (c *CPU) writeBack(victim cache.Line, now int64) {
 
 // complete finishes the current reference after a fill.
 func (c *CPU) complete(now int64) {
+	c.bumpEpoch() // state promotion and/or data mutation below
 	l := c.l2.Probe(c.curLine)
 	if l == nil {
 		panic("proc: complete without a filled line")
@@ -581,6 +603,7 @@ func (c *CPU) FinishBarrier(now int64) {
 		panic("proc: FinishBarrier on a CPU not at a barrier")
 	}
 	c.syncStats(now - 1)
+	c.bumpEpoch() // synchronization boundary: close any open fast window
 	c.Tr.Emit(now, trace.KindBarrierRelease, 0, 0, int32(c.phase), 0)
 	c.lastResult = 0
 	c.st = sThink
@@ -636,6 +659,8 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 			c.nak(m, now)
 		}
 	case msg.BusInval:
+		c.assertHitWindow(now)
+		c.bumpEpoch()
 		if old, ok := c.l2.Invalidate(m.Line); ok {
 			_ = old
 			c.Tr.Emit(now, trace.KindInval, m.Line, m.TxnID, 0, 0)
@@ -644,6 +669,8 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 			}
 		}
 	case msg.BusIntervention:
+		c.assertHitWindow(now)
+		c.bumpEpoch() // may invalidate or downgrade our dirty copy
 		c.serveIntervention(m, now)
 	case msg.IntervResp:
 		// Snarfed off the bus (AlsoProc): our pending miss is satisfied by
@@ -656,6 +683,7 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 			}
 		}
 	case msg.NetInterrupt:
+		c.bumpEpoch() // kill completion: a synchronization boundary
 		c.InterruptReg |= 1 << uint(m.SrcStation)
 		if c.st == sWaitInterrupt {
 			c.Tr.Emit(now, trace.KindTxnEnd, c.curLine, m.TxnID, int32(c.cur.Kind), int32(c.phase))

@@ -73,6 +73,12 @@ type Ctx struct {
 	refs    chan Ref
 	resume  chan uint64
 	pending int64 // coalesced compute cycles awaiting the next reference
+
+	// fast is the front-end hit fast path (see fasthits.go): when enabled,
+	// Read/Write resolve cache hits synchronously in the workload goroutine
+	// within the back-end-published window, banking the hit cycles into
+	// pending like Compute does.
+	fast fastHits
 }
 
 func newCtx(id, nprocs int) *Ctx {
@@ -86,10 +92,22 @@ func (c *Ctx) do(r Ref) uint64 {
 }
 
 // Read loads the 64-bit value of the line containing addr.
-func (c *Ctx) Read(addr uint64) uint64 { return c.do(Ref{Kind: RefRead, Addr: addr}) }
+func (c *Ctx) Read(addr uint64) uint64 {
+	if c.fast.enabled {
+		if v, ok := c.fastRead(addr); ok {
+			return v
+		}
+	}
+	return c.do(Ref{Kind: RefRead, Addr: addr})
+}
 
 // Write stores v to the line containing addr.
-func (c *Ctx) Write(addr uint64, v uint64) { c.do(Ref{Kind: RefWrite, Addr: addr, Data: v}) }
+func (c *Ctx) Write(addr uint64, v uint64) {
+	if c.fast.enabled && c.fastWrite(addr, v) {
+		return
+	}
+	c.do(Ref{Kind: RefWrite, Addr: addr, Data: v})
+}
 
 // TestAndSet atomically sets the line to 1 and returns its previous value.
 func (c *Ctx) TestAndSet(addr uint64) uint64 { return c.do(Ref{Kind: RefTAS, Addr: addr}) }
@@ -122,8 +140,18 @@ func (c *Ctx) Barrier() { c.do(Ref{Kind: RefBarrier}) }
 func (c *Ctx) SetPhase(p uint8) { c.do(Ref{Kind: RefPhase, Phase: p}) }
 
 // Cycle returns the current simulation cycle. The call itself consumes one
-// cycle; latency probes subtract accordingly.
-func (c *Ctx) Cycle() int64 { return int64(c.do(Ref{Kind: RefCycle})) }
+// cycle; latency probes subtract accordingly. With the fast path enabled
+// the value is computed in the front end — the virtual cycle is exact
+// (resume cycle plus banked burst cycles) and the call touches no cache or
+// memory state, so no horizon check is needed.
+func (c *Ctx) Cycle() int64 {
+	if c.fast.enabled {
+		v := c.fast.resumeAt + c.pending
+		c.pending++
+		return v
+	}
+	return int64(c.do(Ref{Kind: RefCycle}))
+}
 
 // Prefetch asks the station's network cache to fetch the line containing
 // addr from its remote home in the background (§3.1.4). The processor

@@ -1,0 +1,72 @@
+// Package profile wires the standard runtime/pprof profilers behind the
+// -cpuprofile/-memprofile flags shared by the simulator binaries. Usage:
+//
+//	prof := profile.AddFlags()
+//	flag.Parse()
+//	stop, err := prof.Start()
+//	// ... run ...
+//	stop() // stops the CPU profile and writes the heap profile
+package profile
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Config holds the flag values registered by AddFlags.
+type Config struct {
+	cpu *string
+	mem *string
+}
+
+// AddFlags registers -cpuprofile and -memprofile on the default flag set;
+// call before flag.Parse.
+func AddFlags() *Config {
+	return &Config{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with 'go tool pprof')"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file at exit"),
+	}
+}
+
+// Start begins CPU profiling when requested and returns the stop function
+// to run at exit: it finishes the CPU profile and snapshots the heap
+// profile (after a GC, so it reflects live objects, not garbage).
+func (c *Config) Start() (stop func() error, err error) {
+	var cpuFile *os.File
+	if *c.cpu != "" {
+		cpuFile, err = os.Create(*c.cpu)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("cpuprofile: %w", err)
+			}
+		}
+		if *c.mem != "" {
+			f, err := os.Create(*c.mem)
+			if err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("memprofile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("memprofile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -22,6 +22,11 @@ type IRI struct {
 	upQ     *sim.Queue[*msg.Packet]
 	downQ   *sim.Queue[*msg.Packet]
 
+	// pool recycles the descending copies this switch creates and the
+	// packets that die here (fully-copied multicast originals, switch-time
+	// drops). Phase-2-only, like every other IRI structure.
+	pool msg.PacketPool
+
 	// UpDelay feeds Figure 18b (average delay in the upward path of the
 	// central ring interface).
 	UpDelay   monitor.Sampler
@@ -113,6 +118,7 @@ func (l localPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 					if i.credits != nil {
 						i.credits.Release(pkt.Msg.SrcStation)
 					}
+					i.pool.Put(pkt)
 					return nil
 				}
 				pkt.ReadyAt = now + int64(i.p.IRICycles)
@@ -180,20 +186,23 @@ func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 						if i.credits != nil {
 							i.credits.Release(pkt.Msg.SrcStation)
 						}
+						i.pool.Put(pkt)
 						return nil
 					}
 					return pkt
 				}
 				// Copy the packet downward, clearing the higher-level field.
-				cp := *pkt
+				cp := i.pool.Get()
+				*cp = *pkt
 				cp.Mask.Rings = 0
 				cp.ReadyAt = now + int64(i.p.IRICycles)
 				cp.EnqueuedAt = now
-				i.downQ.Push(&cp, now)
+				i.downQ.Push(cp, now)
 				i.Tr.Emit(now, trace.KindFlitSwitch, cp.Msg.Line, cp.Msg.TxnID,
 					1, int32(cp.Msg.Type))
 				pkt.Mask.Rings &^= 1 << uint(i.RingID)
 				if pkt.Mask.Rings == 0 {
+					i.pool.Put(pkt)
 					return nil
 				}
 			}

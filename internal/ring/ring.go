@@ -52,6 +52,7 @@ type Ring struct {
 	p       sim.Params
 	nodes   []Node
 	slots   []*msg.Packet
+	occ     int // occupied slots (recounted at each tick; slots change nowhere else)
 	seqNode int // sequencing point for invalidation ordering
 
 	// markInSlot sequences invalidations as they pass the sequencing node
@@ -126,10 +127,8 @@ func (r *Ring) NextWork(now int64) int64 {
 	if len(r.nodes) == 0 {
 		return sim.Never
 	}
-	for _, s := range r.slots {
-		if s != nil {
-			return r.nextEdge(now)
-		}
+	if r.occ > 0 {
+		return r.nextEdge(now)
 	}
 	for _, n := range r.nodes {
 		if n.InputFull() {
@@ -199,6 +198,7 @@ func (r *Ring) Tick(now int64) {
 		return
 	}
 	// Let every node examine/replace its current slot.
+	occ := 0
 	for i, n := range r.nodes {
 		pkt := r.slots[i]
 		if r.markInSlot && pkt != nil && i == r.seqNode && !pkt.Sequenced {
@@ -211,8 +211,12 @@ func (r *Ring) Tick(now int64) {
 			}
 		}
 		r.slots[i] = n.HandleSlot(pkt, now)
+		if r.slots[i] != nil {
+			occ++
+		}
 		r.Util.Tick(r.slots[i] != nil)
 	}
+	r.occ = occ
 	// Advance: slot i moves to node i+1.
 	last := r.slots[len(r.slots)-1]
 	copy(r.slots[1:], r.slots[:len(r.slots)-1])
@@ -225,10 +229,8 @@ func (r *Ring) Tick(now int64) {
 // hasWork reports whether this edge could move a packet: a slot is
 // occupied, or some node has output ready to inject now.
 func (r *Ring) hasWork(now int64) bool {
-	for _, s := range r.slots {
-		if s != nil {
-			return true
-		}
+	if r.occ > 0 {
+		return true
 	}
 	for _, n := range r.nodes {
 		if n.NextInject(now) <= now {
@@ -238,18 +240,10 @@ func (r *Ring) hasWork(now int64) bool {
 	return false
 }
 
-// Occupied returns the number of full slots (for tests and diagnostics).
-func (r *Ring) Occupied() int {
-	n := 0
-	for _, s := range r.slots {
-		if s != nil {
-			n++
-		}
-	}
-	return n
-}
+// Occupied returns the number of full slots.
+func (r *Ring) Occupied() int { return r.occ }
 
 // Drained reports whether the ring carries no packets.
-func (r *Ring) Drained() bool { return r.Occupied() == 0 }
+func (r *Ring) Drained() bool { return r.occ == 0 }
 
 var _ = topo.Geometry{} // keep import stable while the package grows

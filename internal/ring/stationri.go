@@ -65,6 +65,12 @@ type StationRI struct {
 	firstSeen  map[*msg.Message]int64
 	unpackBusy int64
 
+	// pool recycles the packets this interface creates (packetization and
+	// the per-station consume copy) and the ones that die here (last
+	// multicast destination, injection-time drops, reassembled input). See
+	// msg.PacketPool for why reuse cannot change simulated behaviour.
+	pool msg.PacketPool
+
 	// Figure 18a measurements.
 	SendDelay   monitor.Sampler // output-queue wait, upward path
 	DownSink    monitor.Sampler // arrival->bus-handoff, sinkable
@@ -152,7 +158,8 @@ func (r *StationRI) BusDeliver(m *msg.Message, now int64) {
 	}
 	for c := 0; c < copies; c++ {
 		for i := 0; i < n; i++ {
-			q.Push(&msg.Packet{
+			pk := r.pool.Get()
+			*pk = msg.Packet{
 				Msg:        m,
 				Seq:        i,
 				Of:         n,
@@ -160,7 +167,8 @@ func (r *StationRI) BusDeliver(m *msg.Message, now int64) {
 				Sequenced:  m.Type != msg.Invalidate,
 				EnqueuedAt: now,
 				ReadyAt:    now + int64(r.p.RIPackCycles),
-			}, now)
+			}
+			q.Push(pk, now)
 		}
 	}
 }
@@ -177,12 +185,14 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 	if pkt != nil {
 		if pkt.Mask.Rings == 0 && pkt.Mask.Stations&(1<<uint(r.pos)) != 0 && pkt.Sequenced {
 			if !r.inFIFO.Full() {
-				cp := *pkt
-				r.inFIFO.Push(&cp, now)
+				cp := r.pool.Get()
+				*cp = *pkt
+				r.inFIFO.Push(cp, now)
 				r.Tr.Emit(now, trace.KindFlitArrive, pkt.Msg.Line, pkt.Msg.TxnID,
 					int32(pkt.Msg.Type), int32(pkt.Seq))
 				pkt.Mask.Stations &^= 1 << uint(r.pos)
 				if pkt.Mask.Stations == 0 {
+					r.pool.Put(pkt)
 					return nil // last destination: free the slot
 				}
 			}
@@ -214,6 +224,7 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 				r.Drops.Inc()
 				r.Tr.Emit(now, trace.KindFaultDrop, pk.Msg.Line, pk.Msg.TxnID,
 					int32(pk.Msg.Type), 0)
+				r.pool.Put(pk)
 				return nil
 			}
 			r.SendDelay.Sample(now - pk.EnqueuedAt)
@@ -277,7 +288,9 @@ func (r *StationRI) Tick(now int64) {
 			r.firstSeen[m] = pkt.EnqueuedAt
 		}
 		r.reasm[m]++
-		if r.reasm[m] < pkt.Of {
+		of := pkt.Of
+		r.pool.Put(pkt) // reassembly is keyed by m; the packet is done
+		if r.reasm[m] < of {
 			continue
 		}
 		// Message complete: deliver a private copy to the bus.
@@ -324,6 +337,9 @@ func (r *StationRI) route(m *msg.Message) {
 	m.SrcMod = r.g.ModRI()
 	m.DstStation = r.Station
 }
+
+// PoolStats reports the packet pool's fresh allocations and reuses.
+func (r *StationRI) PoolStats() (news, hits int64) { return r.pool.Stats() }
 
 // QueueStats exposes queue statistics for the monitoring reports.
 func (r *StationRI) QueueStats() (sendSink, sendNonsink, input sim.QueueStats) {
