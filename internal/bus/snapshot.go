@@ -1,0 +1,13 @@
+package bus
+
+import "numachine/internal/snap"
+
+// Encode appends the bus's behaviorally relevant state to a canonical
+// encoding (see internal/snap): the arbitration pointer, the transfer in
+// flight and when it completes. Utilization accounting is excluded. Module
+// output queues are encoded by the modules themselves.
+func (b *Bus) Encode(e *snap.Enc) {
+	e.Time(b.busyUntil)
+	b.inFlight.Encode(e)
+	e.Int(b.rr)
+}

@@ -188,6 +188,7 @@ var equivLoops = []string{"naive", "scheduled", "parallel"}
 func runEquiv(t *testing.T, sc equivScenario, loop string) (*Machine, int64) {
 	t.Helper()
 	cfg := sc.cfg()
+	cfg.CheckInvariants = true // coherence re-checked at every quiescence
 	switch loop {
 	case "naive":
 		cfg.NaiveLoop = true

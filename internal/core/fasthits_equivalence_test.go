@@ -12,6 +12,7 @@ import (
 func runFastEquiv(t *testing.T, sc equivScenario, loop string, fast bool, fs *faultSchedule) (*Machine, int64, []byte) {
 	t.Helper()
 	cfg := sc.cfg()
+	cfg.CheckInvariants = true // coherence re-checked at every quiescence
 	cfg.FastHits = fast
 	if fs != nil {
 		cfg.FaultSpec = fs.spec

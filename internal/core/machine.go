@@ -76,6 +76,14 @@ type Config struct {
 	// three cycle loops.
 	FaultSpec string
 	FaultSeed uint64
+
+	// CheckInvariants promotes CheckCoherence from an end-of-run spot
+	// check to an every-quiescence invariant: whenever the machine enters
+	// a quiescent state during Run (and again after the final Drain), the
+	// full coherence check runs and any violation panics with the line,
+	// cycle and rule. Off by default (the scan costs a full-machine pass
+	// per quiescent period); the equivalence suites enable it.
+	CheckInvariants bool
 }
 
 // LoopName names the cycle loop this configuration selects: "naive",
@@ -130,6 +138,10 @@ type Machine struct {
 	barrier  barrierCtl
 	Phases   *monitor.PhaseIDs
 	deadlock int64
+
+	// wasQuiesced tracks quiescence transitions for Config.CheckInvariants
+	// (the check runs once per quiescent period, not once per cycle).
+	wasQuiesced bool
 
 	// Station-parallel cycle loop (nil pool when serial): stations tick
 	// concurrently in phase 1, one shard each; stationCPUs[s] are the CPUs
@@ -947,6 +959,15 @@ func (m *Machine) Run() int64 {
 	}
 	for active() {
 		m.step()
+		if m.Cfg.CheckInvariants {
+			q := m.Quiesced()
+			if q && !m.wasQuiesced {
+				if err := m.CheckCoherence(); err != nil {
+					panic(fmt.Sprintf("core: invariant violation at cycle %d: %v", m.now, err))
+				}
+			}
+			m.wasQuiesced = q
+		}
 		if m.onSample != nil && m.now >= m.sampleAt {
 			m.onSample(m)
 			m.sampleAt = m.now + m.sampleEvery
@@ -998,6 +1019,11 @@ func (m *Machine) Run() int64 {
 		}
 	}
 	m.Drain()
+	if m.Cfg.CheckInvariants {
+		if err := m.CheckCoherence(); err != nil {
+			panic(fmt.Sprintf("core: invariant violation after drain at cycle %d: %v", m.now, err))
+		}
+	}
 	return end - start
 }
 

@@ -13,6 +13,7 @@ import (
 func runTraced(t *testing.T, sc equivScenario, loop string) (*Machine, int64, []byte) {
 	t.Helper()
 	cfg := sc.cfg()
+	cfg.CheckInvariants = true // coherence re-checked at every quiescence
 	switch loop {
 	case "naive":
 		cfg.NaiveLoop = true

@@ -13,7 +13,20 @@ import (
 type Injector struct {
 	seed uint64
 	spec Spec
+
+	// chooser, when non-nil, replaces the PRNG draw behind every Drop/Dup
+	// decision: the model checker installs it to turn fault injection into
+	// an explored choice oracle (each call becomes a branching point).
+	// name identifies the component ("ri/0"), site the decision ("drop").
+	chooser func(name, site string) bool
 }
+
+// SetChooser installs fn as the decision source for every Drop/Dup draw of
+// every component derived from this injector, replacing the PRNG streams.
+// The model checker uses this to enumerate fault decisions exhaustively;
+// production runs never call it. Components constructed before or after
+// the call all consult the injector at decision time.
+func (in *Injector) SetChooser(fn func(name, site string) bool) { in.chooser = fn }
 
 // New builds an injector. Callers should skip construction entirely
 // (keeping the nil Injector) when spec.Zero() so that fault-free runs
@@ -96,6 +109,8 @@ func (in *Injector) Ring(name string) *Comp {
 
 func (in *Injector) newComp(name string, drop, dup float64, win Window, wedgeAt int64) *Comp {
 	c := &Comp{
+		in:      in,
+		name:    name,
 		drop:    drop,
 		dup:     dup,
 		win:     win,
@@ -135,6 +150,9 @@ func substream(seed uint64, name string) uint64 {
 // the cycle: the window schedule is generated lazily but depends only
 // on the seeded winRNG, so every loop sees the same windows.
 type Comp struct {
+	in   *Injector // decision-source indirection (SetChooser)
+	name string
+
 	drop, dup float64
 	dropRNG   sim.RNG
 	dupRNG    sim.RNG
@@ -152,6 +170,9 @@ func (c *Comp) Drop() bool {
 	if c == nil || c.drop == 0 {
 		return false
 	}
+	if c.in != nil && c.in.chooser != nil {
+		return c.in.chooser(c.name, "drop")
+	}
 	return c.dropRNG.Float64() < c.drop
 }
 
@@ -159,6 +180,9 @@ func (c *Comp) Drop() bool {
 func (c *Comp) Dup() bool {
 	if c == nil || c.dup == 0 {
 		return false
+	}
+	if c.in != nil && c.in.chooser != nil {
+		return c.in.chooser(c.name, "dup")
 	}
 	return c.dupRNG.Float64() < c.dup
 }

@@ -1,0 +1,70 @@
+package mcheck
+
+import (
+	"encoding/hex"
+	"fmt"
+)
+
+// A counterexample is the sequence of choice values taken along one
+// explored path; replaying it reproduces the violation deterministically.
+// The wire form is one version byte followed by one byte per choice, and
+// the CLI form is that byte string in hex.
+
+// choicesVersion is the format version byte of the encoded form.
+const choicesVersion = 0x01
+
+// maxChoiceValue bounds a single choice value: every menu in a Spec is far
+// smaller, and the bound lets the decoder reject junk early.
+const maxChoiceValue = 64
+
+// EncodeChoices renders a choice sequence in the wire form.
+func EncodeChoices(choices []int) ([]byte, error) {
+	out := make([]byte, 1, 1+len(choices))
+	out[0] = choicesVersion
+	for i, v := range choices {
+		if v < 0 || v >= maxChoiceValue {
+			return nil, fmt.Errorf("mcheck: choice %d = %d out of range [0,%d)", i, v, maxChoiceValue)
+		}
+		out = append(out, byte(v))
+	}
+	return out, nil
+}
+
+// DecodeChoices parses the wire form back into a choice sequence. It is
+// the fuzzed entry point: every byte string must either round-trip or
+// return an error.
+func DecodeChoices(b []byte) ([]int, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("mcheck: empty choice encoding")
+	}
+	if b[0] != choicesVersion {
+		return nil, fmt.Errorf("mcheck: unknown choice-encoding version %#x", b[0])
+	}
+	choices := make([]int, 0, len(b)-1)
+	for i, v := range b[1:] {
+		if v >= maxChoiceValue {
+			return nil, fmt.Errorf("mcheck: choice %d = %d out of range [0,%d)", i, v, maxChoiceValue)
+		}
+		choices = append(choices, int(v))
+	}
+	return choices, nil
+}
+
+// FormatChoices renders a choice sequence as the hex string the CLI
+// prints and accepts (-replay).
+func FormatChoices(choices []int) string {
+	b, err := EncodeChoices(choices)
+	if err != nil {
+		return fmt.Sprintf("<unencodable: %v>", err)
+	}
+	return hex.EncodeToString(b)
+}
+
+// ParseChoices parses the CLI hex form.
+func ParseChoices(s string) ([]int, error) {
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: choice string is not hex: %v", err)
+	}
+	return DecodeChoices(b)
+}

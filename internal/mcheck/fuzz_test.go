@@ -1,0 +1,30 @@
+package mcheck
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeChoices fuzzes the counterexample wire-format decoder: any
+// byte string must either decode to a sequence that re-encodes to the
+// identical bytes, or return an error — never panic, never lose data.
+func FuzzDecodeChoices(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{choicesVersion})
+	f.Add([]byte{choicesVersion, 0, 1, 2, 63})
+	f.Add([]byte{0x00, 0x01})
+	f.Add([]byte{choicesVersion, 64})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		choices, err := DecodeChoices(b)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeChoices(choices)
+		if err != nil {
+			t.Fatalf("decoded sequence failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("round trip changed bytes: %x -> %v -> %x", b, choices, enc)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+package mcheck
+
+import "numachine/internal/memory"
+
+// MutationCase is one entry of the mutation-testing table: a deliberate
+// protocol defect plus a spec under which the checker must catch it. The
+// table proves the checker's teeth — every entry must produce at least one
+// violation with a replayable counterexample (mutations_test.go enforces
+// this, and the CI mcheck job runs it as a required test).
+type MutationCase struct {
+	Name string
+	Mut  memory.Mutation
+	Spec Spec
+	// Expect documents the failure mode the checker should observe.
+	Expect string
+}
+
+// mutSpec builds the shared baseline for mutation cases: a wide delay
+// menu so both issue orders of any two references are reachable, and a
+// single retry delta to keep each sweep focused on the defect.
+func mutSpec(stations, procs, lines int, ops ...string) Spec {
+	s := DefaultSpec()
+	s.Stations = stations
+	s.Procs = procs
+	s.Lines = lines
+	s.Ops = ops
+	s.Delays = []int64{0, 160}
+	s.RetryDeltas = []int64{0}
+	return s
+}
+
+// MutationTable returns the mutation cases. Each spec is shaped so the
+// mutated transition is actually exercised on some interleaving:
+//
+//   - skip-bus-inval needs a second local sharer, so one station with two
+//     processors (reader first, then writer).
+//   - stale-read-li needs a local dirty owner and a second local reader.
+//   - wrong-owner-mask needs a home-station owner intervened on by a
+//     remote writer (home writes first, remote writes later).
+//   - skip-net-inval needs a remote sharer when the home station writes
+//     (remote reads first, home writes later) — the line then stays
+//     locked forever, a liveness violation.
+//   - flip-gi-gv needs a network-cache LV ejection: one L2 line forces
+//     dirty evictions into the NC, and a third conflicting line ejects
+//     the NC's LV entry, producing the RemWrBack the mutation corrupts.
+//   - no-lock-rem-readex needs a remote writer granted without locking,
+//     then a home writer — two simultaneously dirty copies.
+func MutationTable() []MutationCase {
+	flip := mutSpec(2, 1, 3, "w0w1w2", "r0")
+	flip.L2Lines = 1
+	flip.NCLines = 2
+	return []MutationCase{
+		{
+			Name:   "skip-bus-inval",
+			Mut:    memory.MutSkipBusInval,
+			Spec:   mutSpec(1, 2, 1, "r0", "w0"),
+			Expect: "a local write leaves the prior reader's copy valid: stale sharer at quiescence",
+		},
+		{
+			Name:   "stale-read-li",
+			Mut:    memory.MutStaleReadLI,
+			Spec:   mutSpec(1, 2, 1, "w0", "r0"),
+			Expect: "a local read in LI is served stale DRAM: reader's copy disagrees with the dirty owner",
+		},
+		{
+			Name:   "wrong-owner-mask",
+			Mut:    memory.MutWrongOwnerMask,
+			Spec:   mutSpec(2, 1, 1, "w0", "w0"),
+			Expect: "GI directory names the home station as owner after an intervened remote write",
+		},
+		{
+			Name:   "skip-net-inval",
+			Mut:    memory.MutSkipNetInval,
+			Spec:   mutSpec(2, 1, 1, "r0", "w0"),
+			Expect: "the invalidation multicast never returns: line locked forever (liveness)",
+		},
+		{
+			Name:   "flip-gi-gv",
+			Mut:    memory.MutFlipGIGV,
+			Spec:   flip,
+			Expect: "RemWrBack leaves the directory in GI with an inexact mask",
+		},
+		{
+			Name:   "no-lock-rem-readex",
+			Mut:    memory.MutNoLockRemReadEx,
+			Spec:   mutSpec(2, 1, 1, "w0r0", "w0r0"),
+			Expect: "a remote exclusive grant without locking lets a second writer in: two dirty copies",
+		},
+	}
+}

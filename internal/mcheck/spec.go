@@ -1,0 +1,155 @@
+package mcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is one reference of a driver program: a read or write of one of the
+// spec's cache lines.
+type Op struct {
+	Kind byte // 'r' or 'w'
+	Line int  // index into the spec's allocated lines
+}
+
+// Spec describes one model-checking problem: the machine configuration,
+// the driver programs, the nondeterministic choice menus, and the
+// exploration budgets.
+type Spec struct {
+	// Geometry: Stations stations on a single ring, Procs CPUs per
+	// station. The flagship configuration is 2 stations × 1 CPU each.
+	Stations int
+	Procs    int
+
+	// Lines is the number of cache lines the drivers touch. They are
+	// allocated consecutively in one page, so they share a home station
+	// (station 1 mod Stations — remote to station 0, local to its home).
+	Lines int
+
+	// Ops are the per-CPU driver programs ("w0r0" = write line 0, read
+	// line 0). Empty means the default: every CPU writes line 0 with a
+	// distinct value, then reads it back — the classic contention pattern.
+	Ops []string
+
+	// Delays is the issue-delay menu: before each reference the driver
+	// picks one entry (a compute burst in cycles). More than one entry
+	// makes each reference issue a choice point.
+	Delays []int64
+
+	// RetryDeltas is the NAK retry menu: each delta is added to the fixed
+	// retry delay when a CPU or NC re-issues after a NAK. More than one
+	// entry makes each retry a choice point (retry orderings).
+	RetryDeltas []int64
+
+	// FaultChoices turns the fault injector's drop/dup decisions into
+	// choice points; MaxFaults bounds how many may fire per path (the
+	// recovery machinery makes unbounded fault sequences diverge).
+	FaultChoices bool
+	MaxFaults    int
+
+	// Cache shaping: small caches keep snapshots cheap, and NCLines 1
+	// with 2 lines forces network-cache conflict ejections.
+	L2Lines int
+	NCLines int
+
+	// Budgets. MaxStates bounds the visited set, MaxDepth the choices per
+	// path, MaxCycles the cycles per path (exceeding it is a liveness
+	// violation: some transaction never completed), MaxRetries the
+	// consecutive NAKs one reference may absorb along any path.
+	MaxStates  int
+	MaxDepth   int
+	MaxCycles  int64
+	MaxRetries int
+}
+
+// DefaultSpec is the flagship 2-station × 2-CPU × 1-line configuration:
+// four processors (two per station) write then read the same line — remote
+// for station 0, local to its home station 1 — with two possible issue
+// delays per reference and two possible NAK retry delays, so both issue
+// interleavings and retry orderings are explored.
+func DefaultSpec() Spec {
+	return Spec{
+		Stations:    2,
+		Procs:       2,
+		Lines:       1,
+		Delays:      []int64{0, 40},
+		RetryDeltas: []int64{0, 32},
+		L2Lines:     4,
+		NCLines:     4,
+		MaxStates:   200_000,
+		MaxDepth:    64,
+		MaxCycles:   6_000,
+		MaxRetries:  24,
+	}
+}
+
+// Validate checks the spec and fills defaulted fields in place.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Stations < 1 || s.Stations > 4:
+		return fmt.Errorf("mcheck: Stations must be 1..4, got %d", s.Stations)
+	case s.Procs < 1 || s.Procs > 4:
+		return fmt.Errorf("mcheck: Procs must be 1..4, got %d", s.Procs)
+	case s.Lines < 1 || s.Lines > 4:
+		return fmt.Errorf("mcheck: Lines must be 1..4, got %d", s.Lines)
+	case len(s.Delays) == 0:
+		return fmt.Errorf("mcheck: Delays must have at least one entry")
+	case len(s.RetryDeltas) == 0:
+		return fmt.Errorf("mcheck: RetryDeltas must have at least one entry")
+	case s.FaultChoices && s.MaxFaults < 1:
+		return fmt.Errorf("mcheck: FaultChoices requires MaxFaults >= 1")
+	case s.MaxStates < 1 || s.MaxDepth < 1 || s.MaxCycles < 1:
+		return fmt.Errorf("mcheck: budgets must be positive")
+	}
+	if s.L2Lines == 0 {
+		s.L2Lines = 4
+	}
+	if s.NCLines == 0 {
+		s.NCLines = 4
+	}
+	if s.MaxRetries == 0 {
+		s.MaxRetries = 24
+	}
+	nprocs := s.Stations * s.Procs
+	if len(s.Ops) == 0 {
+		s.Ops = make([]string, nprocs)
+		for i := range s.Ops {
+			s.Ops[i] = "w0r0"
+		}
+	}
+	if len(s.Ops) != nprocs {
+		return fmt.Errorf("mcheck: %d op strings for %d processors", len(s.Ops), nprocs)
+	}
+	for i, ops := range s.Ops {
+		if _, err := ParseOps(ops, s.Lines); err != nil {
+			return fmt.Errorf("mcheck: cpu %d: %v", i, err)
+		}
+	}
+	return nil
+}
+
+// ParseOps parses a driver program string: pairs of a kind letter ('r' or
+// 'w') and a line digit, e.g. "w0r0w1". lines bounds the line index.
+func ParseOps(s string, lines int) ([]Op, error) {
+	s = strings.TrimSpace(s)
+	if len(s)%2 != 0 {
+		return nil, fmt.Errorf("op string %q: want (letter, digit) pairs", s)
+	}
+	ops := make([]Op, 0, len(s)/2)
+	for i := 0; i < len(s); i += 2 {
+		k := s[i]
+		if k != 'r' && k != 'w' {
+			return nil, fmt.Errorf("op string %q: unknown op %q (want r or w)", s, k)
+		}
+		d := s[i+1]
+		if d < '0' || d > '9' {
+			return nil, fmt.Errorf("op string %q: %q is not a line digit", s, d)
+		}
+		line := int(d - '0')
+		if line >= lines {
+			return nil, fmt.Errorf("op string %q: line %d out of range (have %d)", s, line, lines)
+		}
+		ops = append(ops, Op{Kind: k, Line: line})
+	}
+	return ops, nil
+}

@@ -162,6 +162,10 @@ type Module struct {
 	// fault-free runs; every method is inert on nil).
 	Fault *fault.Comp
 
+	// Mut selects a deliberate protocol defect for mutation testing
+	// (MutNone in production; see mutation.go).
+	Mut Mutation
+
 	Stats Stats
 }
 
@@ -351,7 +355,7 @@ func (m *Module) toStation(now int64, t msg.Type, dst int, line uint64, x *msg.M
 
 // busInval queues an invalidation of the local copies in procs.
 func (m *Module) busInval(now int64, line uint64, procs uint16) {
-	if procs == 0 {
+	if procs == 0 || m.Mut == MutSkipBusInval {
 		return
 	}
 	m.Stats.BusInvals.Inc()
@@ -379,6 +383,9 @@ func (m *Module) busInterv(now int64, line uint64, owner, alsoProc int, ex bool)
 // ascends to the sequencing point of the lowest ring level covering the
 // mask, then descends to every covered station.
 func (m *Module) netInval(now int64, line uint64, mask topo.RoutingMask, id uint64) {
+	if m.Mut == MutSkipNetInval {
+		return
+	}
 	m.Stats.InvalidatesSent.Inc()
 	m.outQ.Push(&msg.Message{
 		Type: msg.Invalidate, Line: line, Home: m.Station,
@@ -419,13 +426,14 @@ func (m *Module) bounceOwnFalseRemote(e *entry, x *msg.Message, now int64) bool 
 	return true
 }
 
-func onlyBit(procs uint16) int {
+func (m *Module) onlyBit(procs uint16, line uint64, now int64) int {
 	for i := 0; i < 16; i++ {
 		if procs == 1<<uint(i) {
 			return i
 		}
 	}
-	panic(fmt.Sprintf("memory: processor mask %04b does not name exactly one owner", procs))
+	panic(fmt.Sprintf("memory[%d]: line %#x at cycle %d: processor mask %04b does not name exactly one owner",
+		m.Station, line, now, procs))
 }
 
 func (m *Module) lock(e *entry, t *txn) {
@@ -523,10 +531,14 @@ func (m *Module) localRead(e *entry, x *msg.Message, now int64) {
 		m.toProc(now, msg.ProcData, req, x.Line, e.data, 0)
 		e.procs |= 1 << uint(req)
 	case LI:
-		owner := onlyBit(e.procs)
+		owner := m.onlyBit(e.procs, x.Line, now)
 		if owner == req {
 			// The recorded owner lost its copy; re-supply exclusively.
 			m.toProc(now, msg.ProcDataEx, req, x.Line, e.data, 0)
+			return
+		}
+		if m.Mut == MutStaleReadLI {
+			m.toProc(now, msg.ProcData, req, x.Line, e.data, 0)
 			return
 		}
 		m.lock(e, &txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn()})
@@ -534,7 +546,8 @@ func (m *Module) localRead(e *entry, x *msg.Message, now int64) {
 	case GI:
 		owner, ok := e.mask.Exact(m.g)
 		if !ok || owner == m.Station {
-			panic(fmt.Sprintf("memory[%d]: GI with non-exact or local owner %v", m.Station, e.mask))
+			panic(fmt.Sprintf("memory[%d]: line %#x at cycle %d: GI with non-exact or local owner %v",
+				m.Station, x.Line, now, e.mask))
 		}
 		t := &txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn(),
 			netInterv: true, ownerStation: owner}
@@ -569,7 +582,7 @@ func (m *Module) localWrite(e *entry, x *msg.Message, now int64) {
 		e.procs = bit
 		e.state = LI
 	case LI:
-		owner := onlyBit(e.procs)
+		owner := m.onlyBit(e.procs, x.Line, now)
 		if owner == req {
 			// The directory says the requester already owns the line but it
 			// re-requested it (an upgrade ack misfired and the copy was
@@ -648,7 +661,7 @@ func (m *Module) remRead(e *entry, x *msg.Message, now int64) {
 		e.mask = e.mask.Or(m.g.MaskFor(src)).Or(m.homeMask())
 		e.state = GV
 	case LI:
-		owner := onlyBit(e.procs)
+		owner := m.onlyBit(e.procs, x.Line, now)
 		m.lock(e, &txn{kind: msg.RemRead, requester: -1, reqStation: src, id: m.nextTxn()})
 		m.busInterv(now, x.Line, owner, -1, false)
 	case GI:
@@ -674,6 +687,12 @@ func (m *Module) remReadEx(e *entry, x *msg.Message, now int64, kind msg.Type) {
 	src := x.SrcStation
 	switch e.state {
 	case LV, GV:
+		if m.Mut == MutNoLockRemReadEx {
+			d := m.toStation(now, msg.NetDataEx, src, x.Line, x)
+			d.Data, d.HasData = e.data, true
+			e.procs = 0
+			return
+		}
 		// Data first, then the invalidation multicast: the ring hierarchy
 		// guarantees the data reaches the writer before the invalidation
 		// (§2.3, Figure 7). The data response carries the home transaction
@@ -688,7 +707,7 @@ func (m *Module) remReadEx(e *entry, x *msg.Message, now int64, kind msg.Type) {
 		m.netInval(now, x.Line, e.mask.Or(m.g.MaskFor(src)).Or(m.homeMask()), t.id)
 		e.procs = 0
 	case LI:
-		owner := onlyBit(e.procs)
+		owner := m.onlyBit(e.procs, x.Line, now)
 		m.lock(e, &txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn()})
 		m.busInterv(now, x.Line, owner, -1, true)
 		e.procs = 0
@@ -779,6 +798,9 @@ func (m *Module) remWrBack(e *entry, x *msg.Message, now int64) {
 	// may retain shared copies (inclusion is not enforced), so keep it in
 	// the mask.
 	e.state = GV
+	if m.Mut == MutFlipGIGV {
+		e.state = GI
+	}
 	e.mask = e.mask.Or(m.g.MaskFor(x.SrcStation)).Or(m.homeMask())
 }
 
@@ -864,6 +886,9 @@ func (m *Module) intervResp(e *entry, x *msg.Message, now int64) {
 		d := m.toStation(now, msg.NetDataEx, t.reqStation, x.Line, nil)
 		d.Data, d.HasData, d.TxnID = x.Data, true, t.id
 		e.mask = m.g.MaskFor(t.reqStation)
+		if m.Mut == MutWrongOwnerMask {
+			e.mask = m.homeMask()
+		}
 		e.procs = 0
 		e.state = GI
 	case msg.KillReq:
@@ -1049,7 +1074,7 @@ func (m *Module) kill(e *entry, x *msg.Message, now int64) {
 			m.killDone(t, x.Line, now)
 		}
 	case LI:
-		owner := onlyBit(e.procs)
+		owner := m.onlyBit(e.procs, x.Line, now)
 		m.lock(e, t)
 		m.busInterv(now, x.Line, owner, -1, true)
 		e.procs = 0

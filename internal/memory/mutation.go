@@ -1,0 +1,41 @@
+package memory
+
+// Mutation selects a deliberate protocol defect used by the model checker's
+// mutation-testing harness (internal/mcheck): each value breaks Figure 5 in
+// a specific way that the checker must catch with a counterexample. MutNone
+// (the zero value) is the production protocol; nothing in the simulator
+// sets any other value outside the mutation tests.
+type Mutation uint8
+
+const (
+	// MutNone runs the unmodified protocol.
+	MutNone Mutation = iota
+	// MutSkipBusInval drops the station-bus invalidation multicast: a
+	// local write leaves other local processors holding stale copies.
+	MutSkipBusInval
+	// MutStaleReadLI serves a local read in state LI from DRAM instead of
+	// intervening on the dirty owner: the reader sees stale data.
+	MutStaleReadLI
+	// MutWrongOwnerMask records the home station instead of the requesting
+	// station as the GI owner after an intervention-served remote write.
+	MutWrongOwnerMask
+	// MutSkipNetInval drops the network invalidation multicast: the line
+	// stays locked forever waiting for a return that never comes.
+	MutSkipNetInval
+	// MutFlipGIGV flips the RemWrBack transition to GI instead of GV: the
+	// directory claims an exclusive remote owner that just gave the line up.
+	MutFlipGIGV
+	// MutNoLockRemReadEx grants a remote exclusive read without locking the
+	// line or invalidating sharers: two writers can both be granted.
+	MutNoLockRemReadEx
+)
+
+// String names the mutation for test output.
+func (mu Mutation) String() string {
+	names := [...]string{"none", "skip-bus-inval", "stale-read-li", "wrong-owner-mask",
+		"skip-net-inval", "flip-gi-gv", "no-lock-rem-readex"}
+	if int(mu) < len(names) {
+		return names[mu]
+	}
+	return "unknown"
+}

@@ -174,6 +174,10 @@ type Module struct {
 	// Tr is the structured-event trace sink (nil when tracing is off).
 	Tr *trace.Sink
 
+	// RetryChoice, when non-nil, overrides retryDelay: the model checker
+	// installs it to turn NAK retry timing into an explored choice point.
+	RetryChoice func(nakStreak int, base int64) int64
+
 	Stats Stats
 }
 
@@ -386,6 +390,9 @@ func (n *Module) armRetry(line uint64, t *txn, at int64, timeout bool) {
 // jitter drawn from this NC's seeded stream.
 func (n *Module) retryDelay(t *txn) int64 {
 	d := int64(n.p.RetryDelay)
+	if n.RetryChoice != nil {
+		return n.RetryChoice(t.nakStreak, d)
+	}
 	if !n.p.RetryBackoff {
 		return d
 	}

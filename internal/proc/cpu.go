@@ -123,6 +123,10 @@ type CPU struct {
 
 	// HomeOf maps a line to its home station (page placement); wired by core.
 	HomeOf func(line uint64) int
+	// RetryChoice, when non-nil, overrides retryDelay: the model checker
+	// installs it to turn NAK retry timing into an explored choice point.
+	// It receives the consecutive-NAK count and the fixed base delay.
+	RetryChoice func(nakStreak int, base int64) int64
 	// OnBarrier is invoked when the CPU arrives at a barrier; core releases
 	// it later via FinishBarrier.
 	OnBarrier func(cpu *CPU, now int64)
@@ -458,6 +462,9 @@ func (c *CPU) issue(now int64, retry bool) {
 // spread out instead of re-colliding in lockstep.
 func (c *CPU) retryDelay() int64 {
 	d := int64(c.p.RetryDelay)
+	if c.RetryChoice != nil {
+		return c.RetryChoice(c.nakStreak, d)
+	}
 	if !c.p.RetryBackoff {
 		return d
 	}

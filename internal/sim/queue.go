@@ -136,6 +136,15 @@ func (q *Queue[T]) Pop(now int64) (v T, ok bool) {
 	return e.v, true
 }
 
+// Each calls fn for every queued item in FIFO order (head first). It is a
+// read-only iteration used by the model checker's snapshot hooks; fn must
+// not push or pop.
+func (q *Queue[T]) Each(fn func(v T)) {
+	for i := q.head; i < len(q.items); i++ {
+		fn(q.items[i].v)
+	}
+}
+
 // Observe samples the current depth into the occupancy statistics. The
 // machine calls this once per cycle on monitored queues.
 func (q *Queue[T]) Observe() {

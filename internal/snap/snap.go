@@ -1,0 +1,122 @@
+// Package snap provides the canonical machine-state encoder used by the
+// protocol model checker (internal/mcheck).
+//
+// Every simulator component exposes an Encode hook that appends its
+// behaviorally relevant state to an Enc. Two machine states that produce
+// identical encodings are guaranteed to evolve identically under identical
+// future choices, so the checker can use the encoding bytes as an exact
+// visited-set key: pruning is sound (no hash collisions — the full encoding
+// is the key, not a digest of it).
+//
+// Canonicalization rules, applied by the primitives here so that states
+// reached at different absolute cycles or with different transaction-id
+// histories still compare equal:
+//
+//   - Times are encoded relative to "now". Deadlines in the past clamp to
+//     zero (an expired deadline behaves identically no matter how far past
+//     it is) and sim.Never maps to a dedicated sentinel.
+//   - Transaction ids are renamed in first-appearance order. The protocol
+//     only ever compares transaction ids for equality, so the names are
+//     irrelevant; renaming makes encodings independent of how many
+//     transactions ran before.
+//   - Message/packet pointer identity is renamed the same way via Ref.
+//     Packets of one bus message share a *msg.Message; encoding the
+//     instance id preserves that sharing structure (reassembly counts
+//     would otherwise be ambiguous) without leaking addresses.
+//
+// Statistics, monitoring state and anything else that cannot influence
+// future protocol behavior must be excluded by the component hooks.
+package snap
+
+import "numachine/internal/sim"
+
+// neverSentinel encodes sim.Never distinctly from every relative delta.
+const neverSentinel = ^uint64(0)
+
+// Enc accumulates one canonical state encoding.
+type Enc struct {
+	now  int64
+	buf  []byte
+	txn  map[uint64]uint32
+	refs map[any]uint32
+}
+
+// New returns an encoder for a snapshot taken at simulation time now.
+func New(now int64) *Enc {
+	return &Enc{
+		now:  now,
+		buf:  make([]byte, 0, 512),
+		txn:  make(map[uint64]uint32),
+		refs: make(map[any]uint32),
+	}
+}
+
+// Byte appends one raw byte.
+func (e *Enc) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Bool appends a boolean.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// U16 appends a 16-bit value.
+func (e *Enc) U16(v uint16) { e.buf = append(e.buf, byte(v), byte(v>>8)) }
+
+// U64 appends a 64-bit value.
+func (e *Enc) U64(v uint64) {
+	e.buf = append(e.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// I64 appends a 64-bit signed value.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends an int.
+func (e *Enc) Int(v int) { e.I64(int64(v)) }
+
+// Time appends a deadline or timestamp canonically: relative to now, with
+// past values clamped to zero and sim.Never mapped to a sentinel.
+func (e *Enc) Time(t int64) {
+	switch {
+	case t == sim.Never:
+		e.U64(neverSentinel)
+	case t <= e.now:
+		e.U64(0)
+	default:
+		e.U64(uint64(t - e.now))
+	}
+}
+
+// Txn appends a transaction id, renamed in first-appearance order.
+func (e *Enc) Txn(id uint64) {
+	r, ok := e.txn[id]
+	if !ok {
+		r = uint32(len(e.txn)) + 1
+		e.txn[id] = r
+	}
+	e.U64(uint64(r))
+}
+
+// Ref appends a pointer-instance id, renamed in first-appearance order.
+// Encoding the same pointer twice yields the same id, so shared references
+// (e.g. packets of one message) keep their sharing structure.
+func (e *Enc) Ref(p any) {
+	r, ok := e.refs[p]
+	if !ok {
+		r = uint32(len(e.refs)) + 1
+		e.refs[p] = r
+	}
+	e.U64(uint64(r))
+}
+
+// Bytes returns the accumulated encoding. The slice aliases the encoder's
+// buffer; callers that outlive the encoder should copy it (String does).
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// String returns the encoding as a string, suitable as a map key.
+func (e *Enc) String() string { return string(e.buf) }

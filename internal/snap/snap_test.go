@@ -1,0 +1,100 @@
+package snap
+
+import (
+	"testing"
+
+	"numachine/internal/sim"
+)
+
+// TestTimeCanonicalization pins the now-relative encoding: all past (or
+// current) deadlines collapse to zero, futures become deltas, and the
+// Never sentinel is preserved — so two machines differing only in
+// absolute cycle encode identically.
+func TestTimeCanonicalization(t *testing.T) {
+	a, b := New(100), New(5000)
+	for _, e := range []*Enc{a, b} {
+		e.Time(e.now - 50) // past
+		e.Time(e.now)      // due now
+		e.Time(e.now + 7)  // future delta
+		e.Time(sim.Never)  // never
+	}
+	if a.String() != b.String() {
+		t.Fatalf("time encoding depends on absolute now:\n%q\n%q", a.String(), b.String())
+	}
+	c := New(100)
+	c.Time(100 - 50)
+	c.Time(100)
+	c.Time(100 + 8) // different delta must differ
+	c.Time(sim.Never)
+	if a.String() == c.String() {
+		t.Fatal("distinct future deltas encoded identically")
+	}
+}
+
+// TestTxnRenaming pins first-appearance renaming: transaction-id streams
+// that differ only by absolute ids encode identically, but aliasing
+// structure (same id appearing twice) is preserved.
+func TestTxnRenaming(t *testing.T) {
+	a, b := New(0), New(0)
+	a.Txn(900)
+	a.Txn(17)
+	a.Txn(900) // repeat of the first
+	b.Txn(3)
+	b.Txn(4000)
+	b.Txn(3)
+	if a.String() != b.String() {
+		t.Fatal("txn renaming depends on absolute ids")
+	}
+	c := New(0)
+	c.Txn(1)
+	c.Txn(2)
+	c.Txn(2) // different aliasing: repeat of the second
+	if a.String() == c.String() {
+		t.Fatal("txn aliasing structure lost in renaming")
+	}
+}
+
+// TestRefRenaming pins pointer-identity renaming, the message-aliasing
+// analogue of Txn.
+func TestRefRenaming(t *testing.T) {
+	type obj struct{ v int }
+	x, y := &obj{1}, &obj{2}
+	a := New(0)
+	a.Ref(x)
+	a.Ref(y)
+	a.Ref(x)
+	b := New(0)
+	b.Ref(y)
+	b.Ref(x)
+	b.Ref(y)
+	if a.String() != b.String() {
+		t.Fatal("ref renaming depends on pointer values")
+	}
+	c := New(0)
+	c.Ref(x)
+	c.Ref(y)
+	c.Ref(y)
+	if a.String() == c.String() {
+		t.Fatal("ref aliasing structure lost in renaming")
+	}
+}
+
+// TestScalarDisambiguation guards against ambiguous concatenation: the
+// varint-style framing must keep (1, 23) distinct from (12, 3).
+func TestScalarDisambiguation(t *testing.T) {
+	a := New(0)
+	a.U64(1)
+	a.U64(23)
+	b := New(0)
+	b.U64(12)
+	b.U64(3)
+	if a.String() == b.String() {
+		t.Fatal("adjacent scalars are ambiguous")
+	}
+	neg, pos := New(0), New(0)
+	neg.I64(-5)
+	pos.I64(5)
+	if neg.String() == pos.String() {
+		t.Fatal("sign lost in I64 encoding")
+	}
+}
