@@ -1,10 +1,21 @@
 // Machine-readable benchmark manifest. TestBenchJSON is disabled unless
-// BENCH_JSON names an output path; CI runs it as the bench job and
-// uploads the file as an artifact, then cmd/benchguard compares it
-// against the committed baseline (bench_baseline_5.json). Each hit-heavy
-// workload is measured with the front-end hit fast path on and off, so
-// the manifest both records absolute simulator throughput and pins the
-// fast path's speedup.
+// BENCH_JSON names an output path; CI runs it as the bench job (once per
+// GOMAXPROCS setting) and uploads the file as an artifact, then
+// cmd/benchguard compares it against the committed baseline
+// (bench_baseline_6.json). The manifest has two sections:
+//
+//   - workloads: each hit-heavy workload measured with the front-end hit
+//     fast path on and off under the serial scheduled loop, recording
+//     absolute throughput, the fast path's speedup, and allocations per
+//     reference (a hard benchguard gate — allocation counts are
+//     deterministic, unlike wall clock);
+//   - cycle_loops: the serial scheduled loop against the sharded parallel
+//     loop on p=16 and p=64 runs of the same workload, recording the
+//     parallel loop's wall-clock speedup. The refs/cycles cross-checks
+//     double as a bit-identity smoke test. go_max_procs is recorded so
+//     benchguard only compares wall-clock rows between runs with the
+//     same core budget; at GOMAXPROCS>=4 CI requires the parallel loop
+//     to beat the serial one (-min-parallel-speedup).
 package numachine_test
 
 import (
@@ -39,12 +50,34 @@ type benchEntry struct {
 	Speedup float64 `json:"speedup_refs_per_sec"`
 }
 
-// benchFile is the BENCH_5.json schema.
+// benchLoopMode is one cycle-loop measurement of a workload run.
+type benchLoopMode struct {
+	WallNS        int64   `json:"wall_ns"`
+	NSPerSimCycle float64 `json:"ns_per_sim_cycle"`
+	AllocsPerRef  float64 `json:"allocs_per_ref"`
+}
+
+// benchLoopEntry compares the serial scheduled loop against the sharded
+// parallel loop on one workload run (fast path on in both).
+type benchLoopEntry struct {
+	Name      string        `json:"name"`
+	Procs     int           `json:"procs"`
+	Size      int           `json:"size"`
+	Refs      int64         `json:"refs"`
+	SimCycles int64         `json:"sim_cycles"`
+	Scheduled benchLoopMode `json:"scheduled"`
+	Parallel  benchLoopMode `json:"parallel"`
+	// ParallelSpeedup is scheduled wall time over parallel wall time.
+	ParallelSpeedup float64 `json:"parallel_speedup_wall"`
+}
+
+// benchFile is the BENCH_6.json schema.
 type benchFile struct {
-	Schema     string       `json:"schema"`
-	Loop       string       `json:"loop"`
-	GoMaxProcs int          `json:"go_max_procs"`
-	Workloads  []benchEntry `json:"workloads"`
+	Schema     string           `json:"schema"`
+	Loop       string           `json:"loop"` // loop of the workloads section
+	GoMaxProcs int              `json:"go_max_procs"`
+	Workloads  []benchEntry     `json:"workloads"`
+	CycleLoops []benchLoopEntry `json:"cycle_loops"`
 }
 
 // benchJSONWorkloads are the manifest rows: the hit-heavy trio the fast
@@ -70,13 +103,27 @@ var benchJSONWorkloads = []struct {
 	{"fft", 4, 4096},
 }
 
-// measureWorkload runs one workload under the scheduled loop and returns
+// benchLoopWorkloads are the cycle_loops rows: the same workload at a
+// mid-size and full-machine processor count, where the sharded
+// interconnect has 16 station shards to spread across cores.
+var benchLoopWorkloads = []struct {
+	name        string
+	procs, size int
+}{
+	{"ocean", 16, 64},
+	{"ocean", 64, 64},
+	{"water-nsq", 16, 64},
+	{"water-nsq", 64, 64},
+}
+
+// measureWorkload runs one workload under the named cycle loop and returns
 // wall time, malloc count, completed references and simulated cycles. The
 // simulation itself is deterministic; only the wall clock varies.
-func measureWorkload(t *testing.T, name string, procs, size int, fastHits bool) (wall time.Duration, mallocs uint64, refs, cycles int64) {
+func measureWorkload(t *testing.T, name string, procs, size int, fastHits bool, loop string) (wall time.Duration, mallocs uint64, refs, cycles int64) {
 	t.Helper()
 	cfg := benchConfig()
 	cfg.FastHits = fastHits
+	cfg.ParallelStations = loop == "parallel"
 	m, err := core.New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -101,13 +148,13 @@ func measureWorkload(t *testing.T, name string, procs, size int, fastHits bool) 
 
 // benchMode measures one mode with a warm-up discarded and the faster of
 // two timed repetitions kept (the usual defence against scheduler noise).
-func benchMode(t *testing.T, name string, procs, size int, fastHits bool) (benchModeResult, int64, int64) {
+func benchMode(t *testing.T, name string, procs, size int, fastHits bool, loop string) (benchModeResult, int64, int64) {
 	t.Helper()
 	var best time.Duration
 	var mallocs uint64
 	var refs, cycles int64
 	for rep := 0; rep < 2; rep++ {
-		wall, ma, re, cy := measureWorkload(t, name, procs, size, fastHits)
+		wall, ma, re, cy := measureWorkload(t, name, procs, size, fastHits, loop)
 		if rep > 0 && re != refs {
 			t.Fatalf("%s: reference count changed between repetitions: %d vs %d", name, refs, re)
 		}
@@ -132,13 +179,13 @@ func TestBenchJSON(t *testing.T) {
 		t.Skip("set BENCH_JSON=<path> to emit the benchmark manifest")
 	}
 	file := benchFile{
-		Schema:     "numachine-bench/5",
+		Schema:     "numachine-bench/6",
 		Loop:       "scheduled",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for _, w := range benchJSONWorkloads {
-		fast, refs, cycles := benchMode(t, w.name, w.procs, w.size, true)
-		slow, refsOff, cyclesOff := benchMode(t, w.name, w.procs, w.size, false)
+		fast, refs, cycles := benchMode(t, w.name, w.procs, w.size, true, "scheduled")
+		slow, refsOff, cyclesOff := benchMode(t, w.name, w.procs, w.size, false, "scheduled")
 		if refs != refsOff || cycles != cyclesOff {
 			t.Errorf("%s: fast/slow runs disagree: refs %d vs %d, cycles %d vs %d",
 				w.name, refs, refsOff, cycles, cyclesOff)
@@ -151,6 +198,29 @@ func TestBenchJSON(t *testing.T) {
 		})
 		t.Logf("%-10s refs=%d cycles=%d fast=%.0f refs/s slow=%.0f refs/s speedup=%.2fx",
 			w.name, refs, cycles, fast.RefsPerSec, slow.RefsPerSec, fast.RefsPerSec/slow.RefsPerSec)
+	}
+	for _, w := range benchLoopWorkloads {
+		sched, refs, cycles := benchMode(t, w.name, w.procs, w.size, true, "scheduled")
+		par, refsPar, cyclesPar := benchMode(t, w.name, w.procs, w.size, true, "parallel")
+		if refs != refsPar || cycles != cyclesPar {
+			t.Errorf("%s/p%d: scheduled/parallel runs disagree: refs %d vs %d, cycles %d vs %d",
+				w.name, w.procs, refs, refsPar, cycles, cyclesPar)
+		}
+		speedup := float64(sched.WallNS) / float64(par.WallNS)
+		file.CycleLoops = append(file.CycleLoops, benchLoopEntry{
+			Name: w.name, Procs: w.procs, Size: w.size,
+			Refs: refs, SimCycles: cycles,
+			Scheduled: benchLoopMode{
+				WallNS: sched.WallNS, NSPerSimCycle: sched.NSPerSimCycle, AllocsPerRef: sched.AllocsPerRef,
+			},
+			Parallel: benchLoopMode{
+				WallNS: par.WallNS, NSPerSimCycle: par.NSPerSimCycle, AllocsPerRef: par.AllocsPerRef,
+			},
+			ParallelSpeedup: speedup,
+		})
+		t.Logf("%-10s p=%-2d loops: scheduled %.0fms parallel %.0fms speedup %.2fx (GOMAXPROCS=%d)",
+			w.name, w.procs, float64(sched.WallNS)/1e6, float64(par.WallNS)/1e6,
+			speedup, runtime.GOMAXPROCS(0))
 	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {

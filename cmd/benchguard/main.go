@@ -1,15 +1,27 @@
-// benchguard compares a freshly generated benchmark manifest (BENCH_5.json,
+// benchguard compares a freshly generated benchmark manifest (BENCH_6.json,
 // produced by `BENCH_JSON=... go test -run TestBenchJSON .`) against the
-// committed baseline and fails when fast-path throughput regresses beyond a
-// threshold on any workload row present in both files.
+// committed baseline and fails on three classes of regression:
 //
-// Wall-clock numbers vary across runners, so the guard compares ratios of
-// refs/sec within one machine's run against ratios within the baseline run
-// only indirectly: the primary check is per-row fast-hits refs/sec against
-// the baseline row, with a generous default threshold (20%) meant to catch
-// structural regressions (a dead horizon tier, a serialized loop), not
-// scheduler jitter. -soft downgrades failures to warnings for noisy CI
-// runners while still printing the full comparison table.
+//   - Throughput: per-row fast-hits refs/sec against the baseline row, with
+//     a generous default threshold (20%) meant to catch structural
+//     regressions (a dead horizon tier, a serialized loop), not scheduler
+//     jitter. Wall-clock rows are only compared when the two manifests were
+//     generated with the same go_max_procs — a 1-core baseline says nothing
+//     about 4-core throughput and vice versa. -soft downgrades throughput
+//     failures to warnings for noisy runners.
+//
+//   - Allocations: per-row allocs_per_ref against the baseline row. The
+//     simulator is deterministic, so allocation counts are too; this gate
+//     is HARD — -soft does not downgrade it — and applies regardless of
+//     go_max_procs. A small fractional+absolute slack absorbs Go-runtime
+//     background allocation drift without letting a lost pool through.
+//
+//   - Parallel scaling: with -min-parallel-speedup > 0, every cycle_loops
+//     row in the current manifest must show the sharded parallel loop
+//     beating the serial scheduled loop by at least that factor. This is a
+//     property of the current run alone (no baseline row needed) and is
+//     also hard; CI sets it only on multi-core legs, where the sharded
+//     interconnect has cores to spread across.
 package main
 
 import (
@@ -37,10 +49,29 @@ type entry struct {
 	Speedup   float64 `json:"speedup_refs_per_sec"`
 }
 
+type loopMode struct {
+	WallNS       int64   `json:"wall_ns"`
+	NSPerCycle   float64 `json:"ns_per_sim_cycle"`
+	AllocsPerRef float64 `json:"allocs_per_ref"`
+}
+
+type loopEntry struct {
+	Name            string   `json:"name"`
+	Procs           int      `json:"procs"`
+	Size            int      `json:"size"`
+	Refs            int64    `json:"refs"`
+	SimCycles       int64    `json:"sim_cycles"`
+	Scheduled       loopMode `json:"scheduled"`
+	Parallel        loopMode `json:"parallel"`
+	ParallelSpeedup float64  `json:"parallel_speedup_wall"`
+}
+
 type manifest struct {
-	Schema    string  `json:"schema"`
-	Loop      string  `json:"loop"`
-	Workloads []entry `json:"workloads"`
+	Schema     string      `json:"schema"`
+	Loop       string      `json:"loop"`
+	GoMaxProcs int         `json:"go_max_procs"`
+	Workloads  []entry     `json:"workloads"`
+	CycleLoops []loopEntry `json:"cycle_loops"`
 }
 
 func load(path string) (*manifest, error) {
@@ -55,13 +86,24 @@ func load(path string) (*manifest, error) {
 	return &m, nil
 }
 
-func key(e entry) string { return fmt.Sprintf("%s/p%d/s%d", e.Name, e.Procs, e.Size) }
+func key(name string, procs, size int) string {
+	return fmt.Sprintf("%s/p%d/s%d", name, procs, size)
+}
+
+// allocsRegressed applies the hard allocation gate: the current count may
+// exceed the baseline by at most allocSlack fractionally plus a small
+// absolute floor (so near-zero baselines don't make the gate hair-trigger).
+func allocsRegressed(baseline, current, allocSlack float64) bool {
+	return current > baseline*(1+allocSlack)+0.05
+}
 
 func main() {
-	baselinePath := flag.String("baseline", "bench_baseline_5.json", "committed baseline manifest")
-	currentPath := flag.String("current", "BENCH_5.json", "freshly generated manifest")
+	baselinePath := flag.String("baseline", "bench_baseline_6.json", "committed baseline manifest")
+	currentPath := flag.String("current", "BENCH_6.json", "freshly generated manifest")
 	threshold := flag.Float64("threshold", 0.20, "max tolerated fractional refs/sec regression")
-	soft := flag.Bool("soft", false, "report regressions but exit 0")
+	allocSlack := flag.Float64("alloc-slack", 0.10, "max tolerated fractional allocs/ref growth (hard gate)")
+	minParSpeedup := flag.Float64("min-parallel-speedup", 0, "if >0, require parallel/scheduled wall-clock speedup >= this on every cycle_loops row (hard gate)")
+	soft := flag.Bool("soft", false, "report throughput regressions but exit 0 (alloc and speedup gates stay hard)")
 	flag.Parse()
 
 	base, err := load(*baselinePath)
@@ -79,42 +121,85 @@ func main() {
 			base.Schema, cur.Schema)
 		os.Exit(2)
 	}
+	sameProcs := base.GoMaxProcs == cur.GoMaxProcs
+	if !sameProcs {
+		fmt.Printf("go_max_procs differs (baseline %d, current %d); wall-clock rows not compared, allocation gate still applies\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
+	}
 
 	baseRows := make(map[string]entry, len(base.Workloads))
 	for _, e := range base.Workloads {
-		baseRows[key(e)] = e
+		baseRows[key(e.Name, e.Procs, e.Size)] = e
+	}
+	baseLoops := make(map[string]loopEntry, len(base.CycleLoops))
+	for _, e := range base.CycleLoops {
+		baseLoops[key(e.Name, e.Procs, e.Size)] = e
 	}
 
-	regressed := 0
+	regressed := 0     // throughput (softenable)
+	hardFailed := 0    // allocations, parallel speedup (never softened)
 	compared := 0
 	for _, c := range cur.Workloads {
-		b, ok := baseRows[key(c)]
+		k := key(c.Name, c.Procs, c.Size)
+		b, ok := baseRows[k]
 		if !ok {
-			fmt.Printf("%-24s new row (no baseline), fast=%.0f refs/s\n", key(c), c.FastHits.RefsPerSec)
+			fmt.Printf("%-24s new row (no baseline), fast=%.0f refs/s\n", k, c.FastHits.RefsPerSec)
 			continue
 		}
 		compared++
 		// The simulation is deterministic: differing refs or cycles means
-		// the workload itself changed, and throughput comparison would be
-		// apples to oranges.
+		// the workload itself changed, and both throughput and allocation
+		// comparison would be apples to oranges.
 		if c.Refs != b.Refs || c.SimCycles != b.SimCycles {
-			fmt.Printf("%-24s workload changed (refs %d->%d cycles %d->%d); skipping throughput check\n",
-				key(c), b.Refs, c.Refs, b.SimCycles, c.SimCycles)
+			fmt.Printf("%-24s workload changed (refs %d->%d cycles %d->%d); skipping checks\n",
+				k, b.Refs, c.Refs, b.SimCycles, c.SimCycles)
 			continue
 		}
-		delta := c.FastHits.RefsPerSec/b.FastHits.RefsPerSec - 1
 		status := "ok"
-		if delta < -*threshold {
-			status = "REGRESSED"
-			regressed++
+		if allocsRegressed(b.FastHits.AllocsPerRef, c.FastHits.AllocsPerRef, *allocSlack) {
+			status = "ALLOCS REGRESSED"
+			hardFailed++
 		}
-		fmt.Printf("%-24s fast %9.0f -> %9.0f refs/s (%+6.1f%%)  speedup %.2fx -> %.2fx  %s\n",
-			key(c), b.FastHits.RefsPerSec, c.FastHits.RefsPerSec, 100*delta,
-			b.Speedup, c.Speedup, status)
+		if sameProcs {
+			delta := c.FastHits.RefsPerSec/b.FastHits.RefsPerSec - 1
+			if delta < -*threshold {
+				status = "REGRESSED"
+				regressed++
+			}
+			fmt.Printf("%-24s fast %9.0f -> %9.0f refs/s (%+6.1f%%)  allocs/ref %.3f -> %.3f  %s\n",
+				k, b.FastHits.RefsPerSec, c.FastHits.RefsPerSec, 100*delta,
+				b.FastHits.AllocsPerRef, c.FastHits.AllocsPerRef, status)
+		} else {
+			fmt.Printf("%-24s allocs/ref %.3f -> %.3f  %s\n",
+				k, b.FastHits.AllocsPerRef, c.FastHits.AllocsPerRef, status)
+		}
+	}
+	for _, c := range cur.CycleLoops {
+		k := key(c.Name, c.Procs, c.Size)
+		status := "ok"
+		if b, ok := baseLoops[k]; ok && c.Refs == b.Refs && c.SimCycles == b.SimCycles {
+			compared++
+			if allocsRegressed(b.Parallel.AllocsPerRef, c.Parallel.AllocsPerRef, *allocSlack) ||
+				allocsRegressed(b.Scheduled.AllocsPerRef, c.Scheduled.AllocsPerRef, *allocSlack) {
+				status = "ALLOCS REGRESSED"
+				hardFailed++
+			}
+		}
+		if *minParSpeedup > 0 && c.ParallelSpeedup < *minParSpeedup {
+			status = "PARALLEL TOO SLOW"
+			hardFailed++
+		}
+		fmt.Printf("%-24s loops: scheduled %6.0fms parallel %6.0fms speedup %.2fx  %s\n",
+			k, float64(c.Scheduled.WallNS)/1e6, float64(c.Parallel.WallNS)/1e6,
+			c.ParallelSpeedup, status)
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: no comparable rows between baseline and current")
 		os.Exit(2)
+	}
+	if hardFailed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d hard-gate failures (allocations or parallel speedup)\n", hardFailed)
+		os.Exit(1)
 	}
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: %d of %d rows regressed more than %.0f%%\n",

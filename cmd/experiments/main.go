@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -46,10 +47,14 @@ func main() {
 	scale := flag.Int("scale", 1, "problem size multiplier for speedup sweeps")
 	workers := flag.Int("workers", 1, "goroutines for independent sweep points (0 = GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "station-parallel cycle loop inside each simulation")
+	maxProcs := flag.Int("gomaxprocs", 0, "cap OS threads running Go code (0 = runtime default); makes scaling comparisons reproducible across hosts")
 	traceDir := flag.String("trace-dir", "", "capture a Perfetto trace per sweep point into this directory")
 	traceEvt := flag.Int("trace-events", 0, "per-component trace ring-buffer capacity (0 = default)")
 	prof := profile.AddFlags()
 	flag.Parse()
+	if *maxProcs > 0 {
+		runtime.GOMAXPROCS(*maxProcs)
+	}
 	what := flag.Arg(0)
 	if what == "" {
 		what = "all"

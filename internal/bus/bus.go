@@ -51,6 +51,13 @@ type Bus struct {
 
 	// Tr is the structured-event trace sink (nil when tracing is off).
 	Tr *trace.Sink
+
+	// Msgs recycles messages that die at delivery (nil-safe; wired by
+	// core, shared per station). A message's last stop is the bus exactly
+	// when its receivers retain nothing: processor deliveries (the CPU
+	// copies what it needs) and multicasts. Memory/NC deliveries are
+	// retained in the target's input queue and recycled there instead.
+	Msgs *msg.MessagePool
 }
 
 // New creates the bus for one station. Modules must be registered with
@@ -155,12 +162,16 @@ func (b *Bus) deliver(m *msg.Message, now int64) {
 	}
 	switch m.Type {
 	case msg.BusInval, msg.BusIntervention, msg.NetInterrupt, msg.NetBarrier:
-		// Multicast to the processors named in BusProcs.
+		// Multicast to the processors named in BusProcs. The message dies
+		// here: processors retain only field values, and a network-borne
+		// multicast reaches this bus as the ring interface's private
+		// reassembly copy, never the packet-aliased original.
 		for i := 0; i < b.g.ProcsPerStation; i++ {
 			if m.BusProcs&(1<<uint(i)) != 0 {
 				b.modules[b.g.ModProc(i)].BusDeliver(m, now)
 			}
 		}
+		b.Msgs.Put(m)
 		return
 	case msg.IntervResp:
 		// A single transfer observed by the memory/NC and, when AlsoProc is
@@ -172,6 +183,12 @@ func (b *Bus) deliver(m *msg.Message, now int64) {
 	}
 	if tgt := b.modules[m.DstMod]; tgt != nil {
 		tgt.BusDeliver(m, now)
+		if b.g.IsProcMod(m.DstMod) && m.Type != msg.IntervResp {
+			// Processor deliveries are terminal (the CPU copies data into
+			// its cache); IntervResp is excluded — its DstMod is always the
+			// memory/NC, which queues and recycles it after handling.
+			b.Msgs.Put(m)
+		}
 	}
 }
 

@@ -144,13 +144,26 @@ type Machine struct {
 	wasQuiesced bool
 
 	// Station-parallel cycle loop (nil pool when serial): stations tick
-	// concurrently in phase 1, one shard each; stationCPUs[s] are the CPUs
-	// of station s in tick order. inParallelPhase marks phase 1 so shared
-	// controllers (the barrier) buffer per station instead of mutating
-	// global state from worker goroutines.
+	// concurrently in phase 1, one shard each, and ring groups tick
+	// concurrently in phase 2 (see parallel.go). stationCPUs[s] are the
+	// CPUs of station s in tick order. inParallelPhase marks phase 1 so
+	// shared controllers (the barrier) buffer per station instead of
+	// mutating global state from worker goroutines. parPhase selects the
+	// shard body for the current pool dispatch; it is written only at
+	// serial points. phase2Ring[s] is the ring led by shard s in phase 2
+	// (-1 when shard s is idle in that phase). busFedRing / ringFedCentral
+	// stage the two influence marks that would otherwise race across
+	// shards; stationNext / ringNext are per-shard aggregate wakes used as
+	// the dispatch-skip masks.
 	pool            *sim.ShardPool
 	stationCPUs     [][]*proc.CPU
 	inParallelPhase bool
+	parPhase        int
+	phase2Ring      []int
+	busFedRing      []bool
+	ringFedCentral  []bool
+	stationNext     []int64
+	ringNext        []int64
 
 	// watchdogAt is the cycle at which the deadlock watchdog next samples
 	// progress; quiescence fast-forwards clamp to it so the watchdog trips
@@ -169,18 +182,12 @@ type Machine struct {
 	transitOK    bool
 	transitFloor int64
 
-	// Quiescence scheduler (nil when Cfg.NaiveLoop): per-component ids into
-	// sched, in the same order the components are ticked.
-	sched     *sim.Scheduler
-	idCPUs    []int
-	idBuses   []int
-	idMems    []int
-	idNCs     []int
-	idRIs     []int
-	idLocals  []int
-	idCentral int
+	// gated is set for the scheduled and parallel loops (everything but
+	// NaiveLoop): components tick only when their activity gate fires, with
+	// the poll caches below amortizing the gate itself.
+	gated bool
 
-	// Poll caches for the serial scheduled loop (see stepScheduled): the
+	// Poll caches for the gated loops (see stepScheduled): the
 	// cycle at which each component's activity gate must next be consulted.
 	// A cached entry is either the component's own last NextWork report or
 	// an influence mark set when a component that can hand it work ticked.
@@ -243,16 +250,26 @@ func New(cfg Config) (*Machine, error) {
 	m.credits = ring.NewCredits(g.Stations(), p.MaxNonsinkable)
 
 	for s := 0; s < g.Stations(); s++ {
-		m.Buses = append(m.Buses, bus.New(g, p, s))
+		// One message pool per station, shared by every component of that
+		// station: all of a station's Get/Put calls happen on its phase-1
+		// worker or its ring's phase-2 worker, which the cycle barrier
+		// separates, so the pool needs no locking under any cycle loop.
+		pool := new(msg.MessagePool)
+		b := bus.New(g, p, s)
+		b.Msgs = pool
+		m.Buses = append(m.Buses, b)
 		mem := memory.New(g, p, s)
 		mem.Fault = m.inj.Mem(s)
+		mem.Msgs = pool
 		m.Mems = append(m.Mems, mem)
 		nc := netcache.New(g, p, s)
 		nc.Fault = m.inj.NC(s)
 		nc.FetchTimeout = m.inj.FetchTimeout()
+		nc.Msgs = pool
 		m.NCs = append(m.NCs, nc)
 		ri := ring.NewStationRI(g, p, s, m.credits)
 		ri.Fault = m.inj.RI(s)
+		ri.Msgs = pool
 		m.RIs = append(m.RIs, ri)
 	}
 	m.runners = make([]*proc.Runner, g.Procs())
@@ -261,6 +278,7 @@ func New(cfg Config) (*Machine, error) {
 		cpu.HomeOf = m.homeOfFor(cpu)
 		cpu.OnBarrier = m.barrierArrive
 		cpu.OnPhase = func(c *proc.CPU, ph uint8) { m.Phases.Set(c.GlobalID, ph) }
+		cpu.Msgs = m.Buses[cpu.Station].Msgs
 		m.CPUs = append(m.CPUs, cpu)
 	}
 	for s := 0; s < g.Stations(); s++ {
@@ -274,7 +292,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.buildRings()
 	if !cfg.NaiveLoop {
-		m.buildScheduler()
+		m.gated = true
 		m.pollCPU = make([]int64, g.Procs())
 		m.pollBus = make([]int64, g.Stations())
 		m.pollMem = make([]int64, g.Stations())
@@ -292,37 +310,24 @@ func New(cfg Config) (*Machine, error) {
 			first := g.ProcAt(s, 0)
 			m.stationCPUs = append(m.stationCPUs, m.CPUs[first:first+g.ProcsPerStation])
 		}
-		m.pool = sim.NewShardPool(cfg.StationWorkers, g.Stations(), m.tickStation)
+		// Phase-2 shard assignment: the first station of ring r leads ring
+		// group r, every other shard is idle in phase 2. With the pool's
+		// block partition this spreads the ring groups across workers.
+		m.phase2Ring = make([]int, g.Stations())
+		for s := range m.phase2Ring {
+			m.phase2Ring[s] = -1
+		}
+		for r := 0; r < g.Rings; r++ {
+			m.phase2Ring[g.StationAt(r, 0)] = r
+		}
+		m.busFedRing = make([]bool, g.Stations())
+		m.ringFedCentral = make([]bool, g.Rings)
+		m.stationNext = make([]int64, g.Stations())
+		m.ringNext = make([]int64, g.Rings)
+		m.pool = sim.NewShardPool(cfg.StationWorkers, g.Stations(), m.runShard)
 		m.barrier.parArrived = make([][]*proc.CPU, g.Stations())
 	}
 	return m, nil
-}
-
-// buildScheduler registers every ticked component with the quiescence
-// scheduler, in tick order.
-func (m *Machine) buildScheduler() {
-	m.sched = sim.NewScheduler()
-	for i := range m.CPUs {
-		m.idCPUs = append(m.idCPUs, m.sched.Register(fmt.Sprintf("cpu[%d]", i)))
-	}
-	for i := range m.Buses {
-		m.idBuses = append(m.idBuses, m.sched.Register(fmt.Sprintf("bus[%d]", i)))
-	}
-	for i := range m.Mems {
-		m.idMems = append(m.idMems, m.sched.Register(fmt.Sprintf("mem[%d]", i)))
-	}
-	for i := range m.NCs {
-		m.idNCs = append(m.idNCs, m.sched.Register(fmt.Sprintf("nc[%d]", i)))
-	}
-	for i := range m.RIs {
-		m.idRIs = append(m.idRIs, m.sched.Register(fmt.Sprintf("ri[%d]", i)))
-	}
-	for i := range m.Locals {
-		m.idLocals = append(m.idLocals, m.sched.Register(fmt.Sprintf("local-ring[%d]", i)))
-	}
-	if m.Central != nil {
-		m.idCentral = m.sched.Register("central-ring")
-	}
 }
 
 // buildRings wires the ring hierarchy: each local ring carries its
@@ -522,6 +527,9 @@ func (m *Machine) fireBarriers() {
 			if m.pollCPU != nil {
 				m.pollCPU[r.cpu.GlobalID] = m.now
 			}
+			if m.stationNext != nil && m.stationNext[r.cpu.Station] > m.now {
+				m.stationNext[r.cpu.Station] = m.now
+			}
 		} else {
 			kept = append(kept, r)
 		}
@@ -569,7 +577,7 @@ func (m *Machine) Load(progs []proc.Program) {
 // observable tick order is unchanged.
 func (m *Machine) Step() {
 	switch {
-	case m.sched == nil:
+	case !m.gated:
 		m.stepNaive()
 	case m.pool != nil:
 		m.stepParallel()
@@ -849,44 +857,16 @@ func (m *Machine) resetPolls() {
 	if m.Central == nil {
 		m.pollCentral = sim.Never
 	}
-}
-
-// nextWake returns the earliest future cycle at which any component or
-// pending barrier release can do work (sim.Never when nothing is
-// scheduled). It is only called after a fully quiescent cycle, so the
-// NextWork polls here see exactly the state the gate pass saw — nothing
-// ticked in between — and reporting them into the scheduler's min-heap
-// off the hot path keeps the busy-cycle loop free of bookkeeping.
-func (m *Machine) nextWake() int64 {
-	now := m.now
-	for i, c := range m.CPUs {
-		m.sched.Report(m.idCPUs[i], c.NextWork(now))
-	}
-	for i, b := range m.Buses {
-		m.sched.Report(m.idBuses[i], b.NextWork(now))
-	}
-	for i, mem := range m.Mems {
-		m.sched.Report(m.idMems[i], mem.NextWork(now))
-	}
-	for i, nc := range m.NCs {
-		m.sched.Report(m.idNCs[i], nc.NextWork(now))
-	}
-	for i, ri := range m.RIs {
-		m.sched.Report(m.idRIs[i], ri.NextWork(now))
-	}
-	for i, lr := range m.Locals {
-		m.sched.Report(m.idLocals[i], lr.NextWork(now))
-	}
-	if m.Central != nil {
-		m.sched.Report(m.idCentral, m.Central.NextWork(now))
-	}
-	wake := m.sched.NextEvent()
-	for _, r := range m.barrier.releases {
-		if r.at < wake {
-			wake = r.at
+	if m.stationNext != nil {
+		for s := range m.stationNext {
+			m.stationNext[s] = m.now
+			m.busFedRing[s] = false
+		}
+		for r := range m.ringNext {
+			m.ringNext[r] = m.now
+			m.ringFedCentral[r] = false
 		}
 	}
-	return wake
 }
 
 // step advances one cycle and, when the machine proved quiescent, jumps
@@ -897,7 +877,7 @@ func (m *Machine) nextWake() int64 {
 // the cycles the naive loop samples — including a sim.Never wake on a
 // fully wedged machine, which must land on the deadline rather than spin.
 func (m *Machine) step() {
-	if m.sched == nil {
+	if !m.gated {
 		m.stepNaive()
 		return
 	}
@@ -905,13 +885,11 @@ func (m *Machine) step() {
 	wake := sim.Never
 	if m.pool != nil {
 		ticked = m.stepParallel()
-		if ticked == 0 {
-			wake = m.nextWake()
-		}
 	} else {
-		if ticked = m.stepScheduled(); ticked == 0 {
-			wake = m.cachedWake()
-		}
+		ticked = m.stepScheduled()
+	}
+	if ticked == 0 {
+		wake = m.cachedWake()
 	}
 	if ticked == 0 {
 		if m.watchdogAt > m.now && wake > m.watchdogAt {

@@ -166,6 +166,10 @@ type Module struct {
 	// (MutNone in production; see mutation.go).
 	Mut Mutation
 
+	// Msgs recycles consumed and constructed messages (nil-safe; wired by
+	// core, shared per station).
+	Msgs *msg.MessagePool
+
 	Stats Stats
 }
 
@@ -249,6 +253,11 @@ func (m *Module) Tick(now int64) {
 		x := m.staged
 		m.staged = nil
 		m.handle(x, now)
+		// Bus-delivered messages are single-owner (the ring interface hands
+		// the bus a private copy of every reassembled or looped-back
+		// message), and handle retains only field values — the message is
+		// dead here.
+		m.Msgs.Put(x)
 	}
 	x, ok := m.inQ.Pop(now)
 	if !ok {
@@ -328,17 +337,20 @@ func (m *Module) homeMask() topo.RoutingMask { return m.g.MaskFor(m.Station) }
 
 // toProc queues a response to a local processor.
 func (m *Module) toProc(now int64, t msg.Type, localProc int, line uint64, data uint64, nakOf msg.Type) {
-	m.outQ.Push(&msg.Message{
+	out := m.Msgs.Get()
+	*out = msg.Message{
 		Type: t, Line: line, Home: m.Station,
 		SrcMod: m.g.ModMem(), DstMod: m.g.ModProc(localProc),
 		SrcStation: m.Station, DstStation: m.Station,
 		Data: data, HasData: t.CarriesData(), NakOf: nakOf, IssueCycle: now,
-	}, now)
+	}
+	m.outQ.Push(out, now)
 }
 
 // toStation queues a network message via the ring interface.
 func (m *Module) toStation(now int64, t msg.Type, dst int, line uint64, x *msg.Message) *msg.Message {
-	out := &msg.Message{
+	out := m.Msgs.Get()
+	*out = msg.Message{
 		Type: t, Line: line, Home: m.Station,
 		SrcMod: m.g.ModMem(), DstMod: m.g.ModRI(),
 		SrcStation: m.Station, DstStation: dst,
@@ -359,23 +371,27 @@ func (m *Module) busInval(now int64, line uint64, procs uint16) {
 		return
 	}
 	m.Stats.BusInvals.Inc()
-	m.outQ.Push(&msg.Message{
+	out := m.Msgs.Get()
+	*out = msg.Message{
 		Type: msg.BusInval, Line: line, Home: m.Station,
 		SrcMod: m.g.ModMem(), DstMod: m.g.ModProc(0), BusProcs: procs,
 		SrcStation: m.Station, DstStation: m.Station, IssueCycle: now,
-	}, now)
+	}
+	m.outQ.Push(out, now)
 }
 
 // busInterv queues an intervention asking local owner to supply its dirty
 // copy; alsoProc (when >= 0) snarfs the response off the bus.
 func (m *Module) busInterv(now int64, line uint64, owner, alsoProc int, ex bool) {
 	m.Stats.Interventions.Inc()
-	m.outQ.Push(&msg.Message{
+	out := m.Msgs.Get()
+	*out = msg.Message{
 		Type: msg.BusIntervention, Line: line, Home: m.Station,
 		SrcMod: m.g.ModMem(), DstMod: m.g.ModProc(owner),
 		BusProcs: 1 << uint(owner), AlsoProc: alsoProc, Ex: ex,
 		SrcStation: m.Station, DstStation: m.Station, IssueCycle: now,
-	}, now)
+	}
+	m.outQ.Push(out, now)
 }
 
 // netInval queues the single invalidation multicast of §2.3. The mask
@@ -387,12 +403,14 @@ func (m *Module) netInval(now int64, line uint64, mask topo.RoutingMask, id uint
 		return
 	}
 	m.Stats.InvalidatesSent.Inc()
-	m.outQ.Push(&msg.Message{
+	out := m.Msgs.Get()
+	*out = msg.Message{
 		Type: msg.Invalidate, Line: line, Home: m.Station,
 		SrcMod: m.g.ModMem(), DstMod: m.g.ModRI(),
 		SrcStation: m.Station, DstStation: -1, Mask: mask,
 		TxnID: id, IssueCycle: now,
-	}, now)
+	}
+	m.outQ.Push(out, now)
 }
 
 func (m *Module) nak(now int64, x *msg.Message) {
@@ -1097,12 +1115,14 @@ func (m *Module) killDone(t *txn, line uint64, now int64) {
 		return
 	}
 	if t.reqStation == m.Station {
-		m.outQ.Push(&msg.Message{
+		out := m.Msgs.Get()
+		*out = msg.Message{
 			Type: msg.NetInterrupt, Line: line, Home: m.Station,
 			SrcMod: m.g.ModMem(), DstMod: m.g.ModProc(m.g.LocalProc(t.requester)),
 			BusProcs:   1 << uint(m.g.LocalProc(t.requester)),
 			SrcStation: m.Station, DstStation: m.Station, IssueCycle: now,
-		}, now)
+		}
+		m.outQ.Push(out, now)
 		return
 	}
 	it := m.toStation(now, msg.NetInterrupt, t.reqStation, line, nil)

@@ -23,6 +23,21 @@ type PacketPool struct {
 	hits int64 // recycled packets
 }
 
+// poolDebug, when true, makes every Put scan the free list and panic on a
+// pointer that is already there — a double free would otherwise surface
+// later as two live owners of one recycled struct, far from the bug. The
+// scan is O(free) per Put, so it is enabled only by tests (including the
+// -race equivalence soaks) via SetPoolDebug.
+var poolDebug bool
+
+// SetPoolDebug toggles double-free detection on every pool Put; returns
+// the previous setting so tests can restore it.
+func SetPoolDebug(on bool) bool {
+	prev := poolDebug
+	poolDebug = on
+	return prev
+}
+
 // Get returns a zeroed packet, recycling a freed one when available.
 func (p *PacketPool) Get() *Packet {
 	if n := len(p.free) - 1; n >= 0 {
@@ -44,9 +59,83 @@ func (p *PacketPool) Put(pkt *Packet) {
 	if pkt == nil {
 		return
 	}
+	if poolDebug {
+		for _, q := range p.free {
+			if q == pkt {
+				panic("msg: packet double free")
+			}
+		}
+	}
 	*pkt = Packet{}
 	p.free = append(p.free, pkt)
 }
 
 // Stats reports fresh allocations and recycled reuses (diagnostics).
 func (p *PacketPool) Stats() (news, hits int64) { return p.news, p.hits }
+
+// MessagePool is the Message counterpart of PacketPool. Messages are the
+// other steady-state allocation: every bus transaction, coherence action
+// and network response constructs one, and almost all of them die at a
+// well-defined point — consumed by a memory module or network cache after
+// handling, delivered to a processor, or superseded by the private copy a
+// ring interface hands to its bus. The pool recycles those. Messages whose
+// lifetime is genuinely shared (multicast originals whose packets alias
+// one Message across stations, duplicate-faulted packet chains) are simply
+// never Put and die to the garbage collector as before.
+//
+// Determinism: like PacketPool, recycling cannot perturb simulated
+// behaviour — a recycled Message is fully overwritten at reuse, zeroed at
+// release, and the free list is plain LIFO. Message *identity* is used as
+// a reassembly map key while packets are in flight, but every Put site
+// runs strictly after the message has left the in-flight maps (or never
+// entered them).
+//
+// All methods tolerate a nil receiver (Get falls back to the heap, Put
+// drops the message) so components constructed directly in tests work
+// without wiring a pool.
+type MessagePool struct {
+	free []*Message
+	news int64
+	hits int64
+}
+
+// Get returns a zeroed message, recycling a freed one when available.
+func (p *MessagePool) Get() *Message {
+	if p == nil {
+		return new(Message)
+	}
+	if n := len(p.free) - 1; n >= 0 {
+		m := p.free[n]
+		p.free[n] = nil
+		p.free = p.free[:n]
+		p.hits++
+		return m
+	}
+	p.news++
+	return new(Message)
+}
+
+// Put releases a dead message to the free list, zeroing it immediately so
+// any use-after-free reads a visibly blank message.
+func (p *MessagePool) Put(m *Message) {
+	if p == nil || m == nil {
+		return
+	}
+	if poolDebug {
+		for _, q := range p.free {
+			if q == m {
+				panic("msg: message double free")
+			}
+		}
+	}
+	*m = Message{}
+	p.free = append(p.free, m)
+}
+
+// Stats reports fresh allocations and recycled reuses (diagnostics).
+func (p *MessagePool) Stats() (news, hits int64) {
+	if p == nil {
+		return 0, 0
+	}
+	return p.news, p.hits
+}

@@ -178,6 +178,10 @@ type Module struct {
 	// installs it to turn NAK retry timing into an explored choice point.
 	RetryChoice func(nakStreak int, base int64) int64
 
+	// Msgs recycles consumed and constructed messages (nil-safe; wired by
+	// core, shared per station).
+	Msgs *msg.MessagePool
+
 	Stats Stats
 }
 
@@ -326,6 +330,8 @@ func (n *Module) Tick(now int64) {
 		x := n.staged
 		n.staged = nil
 		n.handle(x, now)
+		// Single-owner after handling, as in memory.Module.Tick.
+		n.Msgs.Put(x)
 	}
 	x, ok := n.inQ.Pop(now)
 	if !ok {
@@ -415,17 +421,20 @@ func (n *Module) retryDelay(t *txn) int64 {
 func (n *Module) homeOf(x *msg.Message) int { return x.Home }
 
 func (n *Module) toProc(now int64, t msg.Type, localProc int, line uint64, data uint64, nakOf msg.Type) {
-	n.outQ.Push(&msg.Message{
+	out := n.Msgs.Get()
+	*out = msg.Message{
 		Type: t, Line: line, Home: -1,
 		SrcMod: n.g.ModNC(), DstMod: n.g.ModProc(localProc),
 		SrcStation: n.Station, DstStation: n.Station,
 		Data: data, HasData: t.CarriesData(), NakOf: nakOf, IssueCycle: now,
-	}, now)
+	}
+	n.outQ.Push(out, now)
 }
 
 // toNet queues a network message. home is the line's home station.
 func (n *Module) toNet(now int64, t msg.Type, dst, home int, line uint64) *msg.Message {
-	out := &msg.Message{
+	out := n.Msgs.Get()
+	*out = msg.Message{
 		Type: t, Line: line, Home: home,
 		SrcMod: n.g.ModNC(), DstMod: n.g.ModRI(),
 		SrcStation: n.Station, DstStation: dst,
@@ -458,20 +467,24 @@ func (n *Module) busInval(now int64, line uint64, procs uint16) {
 	if procs == 0 {
 		return
 	}
-	n.outQ.Push(&msg.Message{
+	out := n.Msgs.Get()
+	*out = msg.Message{
 		Type: msg.BusInval, Line: line,
 		SrcMod: n.g.ModNC(), DstMod: n.g.ModProc(0), BusProcs: procs,
 		SrcStation: n.Station, DstStation: n.Station, IssueCycle: now,
-	}, now)
+	}
+	n.outQ.Push(out, now)
 }
 
 func (n *Module) busInterv(now int64, line uint64, procs uint16, alsoProc int, ex bool) {
-	n.outQ.Push(&msg.Message{
+	out := n.Msgs.Get()
+	*out = msg.Message{
 		Type: msg.BusIntervention, Line: line,
 		SrcMod: n.g.ModNC(), DstMod: n.g.ModProc(0),
 		BusProcs: procs, AlsoProc: alsoProc, Ex: ex,
 		SrcStation: n.Station, DstStation: n.Station, IssueCycle: now,
-	}, now)
+	}
+	n.outQ.Push(out, now)
 }
 
 // ---- allocation & ejection ----

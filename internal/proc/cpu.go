@@ -80,6 +80,11 @@ type CPU struct {
 
 	outQ *sim.Queue[*msg.Message]
 
+	// Msgs recycles the messages this station's components construct and
+	// consume (nil-safe; wired by core, shared per station). See
+	// msg.MessagePool for the ownership discipline.
+	Msgs *msg.MessagePool
+
 	st         state
 	thinkUntil int64
 	retryAt    int64
@@ -333,12 +338,14 @@ func (c *CPU) process(ref Ref, now int64) {
 	case RefPrefetch:
 		line := c.align(ref.Addr)
 		if c.HomeOf(line) != c.Station && c.l2.Probe(line) == nil {
-			c.outQ.Push(&msg.Message{
+			out := c.Msgs.Get()
+			*out = msg.Message{
 				Type: msg.PrefetchReq, Line: line, Home: c.HomeOf(line),
 				SrcMod: c.Local, DstMod: c.g.ModNC(),
 				SrcStation: c.Station, DstStation: c.Station,
 				Requester: c.GlobalID, IssueCycle: now,
-			}, now)
+			}
+			c.outQ.Push(out, now)
 		}
 		c.lastResult = 0
 		c.thinkUntil = now + 1
@@ -503,20 +510,23 @@ func (c *CPU) send(t msg.Type, now int64, retry bool) {
 		rb = 1
 	}
 	c.Tr.Emit(now, trace.KindTxnBegin, c.curLine, 0, int32(t), int32(c.phase)<<1|rb)
-	c.outQ.Push(&msg.Message{
+	out := c.Msgs.Get()
+	*out = msg.Message{
 		Type: t, Line: c.curLine, Home: home,
 		SrcMod: c.Local, DstMod: dst,
 		SrcStation: c.Station, DstStation: c.Station,
 		Requester: c.GlobalID, ReqStation: c.Station,
 		Retry: retry, IssueCycle: now,
-	}, now)
+	}
+	c.outQ.Push(out, now)
 }
 
 func (c *CPU) sendKill(now int64) {
 	home := c.HomeOf(c.curLine)
 	c.phaseTxns[c.phase]++
 	c.Tr.Emit(now, trace.KindTxnBegin, c.curLine, 0, int32(msg.KillReq), int32(c.phase)<<1)
-	m := &msg.Message{
+	m := c.Msgs.Get()
+	*m = msg.Message{
 		Type: msg.KillReq, Line: c.curLine, Home: home,
 		SrcMod: c.Local, SrcStation: c.Station,
 		Requester: c.GlobalID, ReqStation: c.Station, IssueCycle: now,
@@ -562,12 +572,14 @@ func (c *CPU) writeBack(victim cache.Line, now int64) {
 	if home == c.Station {
 		dst = c.g.ModMem()
 	}
-	c.outQ.Push(&msg.Message{
+	out := c.Msgs.Get()
+	*out = msg.Message{
 		Type: msg.LocalWrBack, Line: victim.Addr, Home: home,
 		SrcMod: c.Local, DstMod: dst,
 		SrcStation: c.Station, DstStation: c.Station,
 		Data: victim.Data, HasData: true, IssueCycle: now,
-	}, now)
+	}
+	c.outQ.Push(out, now)
 }
 
 // complete finishes the current reference after a fill.
@@ -711,7 +723,8 @@ func (c *CPU) BusDeliver(m *msg.Message, now int64) {
 // interventions also invalidate any copy we keep.
 func (c *CPU) serveIntervention(m *msg.Message, now int64) {
 	l := c.l2.Probe(m.Line)
-	resp := &msg.Message{
+	resp := c.Msgs.Get()
+	*resp = msg.Message{
 		Line: m.Line, Home: m.Home,
 		SrcMod: c.Local, DstMod: m.SrcMod,
 		SrcStation: c.Station, DstStation: c.Station,

@@ -74,6 +74,23 @@ type Ctx struct {
 	resume  chan uint64
 	pending int64 // coalesced compute cycles awaiting the next reference
 
+	// batch is the slow-path reference burst awaiting one handshake.
+	// Result-free references (Write, Prefetch, SetPhase) append here and
+	// return immediately — the workload runs ahead in virtual time, exactly
+	// as Compute does — and the whole burst is handed to the back end on
+	// the next result-bearing reference (or when the batch fills): one
+	// refs/resume round-trip instead of one per reference. The back end
+	// consumes the burst in order from the parked goroutine's slice
+	// (Runner.Next serves batch[1:] without resuming), executing every
+	// reference at its true cycle with its own coalesced Pre prefix, so
+	// timing, results and traces are bit-identical to the unbatched
+	// handshake. No value computed ahead of the burst can be observed: the
+	// batched kinds return nothing, and every result-bearing operation
+	// (including Cycle and the hit fast path, which gate on an empty batch
+	// because their resume-relative virtual clock is stale while a burst is
+	// open) drains the batch first.
+	batch []Ref
+
 	// fast is the front-end hit fast path (see fasthits.go): when enabled,
 	// Read/Write resolve cache hits synchronously in the workload goroutine
 	// within the back-end-published window, banking the hit cycles into
@@ -81,14 +98,43 @@ type Ctx struct {
 	fast fastHits
 }
 
+// batchCap bounds the deferred burst; a run of result-free references
+// longer than this pays one handshake per batchCap references, which
+// already amortizes the channel round-trip to noise.
+const batchCap = 64
+
 func newCtx(id, nprocs int) *Ctx {
 	return &Ctx{ID: id, NProcs: nprocs, refs: make(chan Ref), resume: make(chan uint64)}
 }
 
+// do queues a result-bearing reference and performs the handshake: the
+// back end consumes the whole batch and resumes the goroutine with this
+// (final) reference's result.
 func (c *Ctx) do(r Ref) uint64 {
 	r.Pre, c.pending = c.pending, 0
-	c.refs <- r
-	return <-c.resume
+	c.batch = append(c.batch, r)
+	return c.flush()
+}
+
+// post queues a result-free reference, deferring the handshake until a
+// result is needed or the batch fills.
+func (c *Ctx) post(r Ref) {
+	r.Pre, c.pending = c.pending, 0
+	c.batch = append(c.batch, r)
+	if len(c.batch) >= batchCap {
+		c.flush()
+	}
+}
+
+// flush hands the batch to the back end and blocks until it has executed
+// in full, returning the last reference's result. The runner reads
+// batch[1:] directly — safe because this goroutine parks on resume for
+// the duration and the channel operations order the accesses.
+func (c *Ctx) flush() uint64 {
+	c.refs <- c.batch[0]
+	v := <-c.resume
+	c.batch = c.batch[:0]
+	return v
 }
 
 // Read loads the 64-bit value of the line containing addr.
@@ -101,12 +147,13 @@ func (c *Ctx) Read(addr uint64) uint64 {
 	return c.do(Ref{Kind: RefRead, Addr: addr})
 }
 
-// Write stores v to the line containing addr.
+// Write stores v to the line containing addr. Writes return no value, so
+// the slow path defers the handshake (see Ctx.batch).
 func (c *Ctx) Write(addr uint64, v uint64) {
 	if c.fast.enabled && c.fastWrite(addr, v) {
 		return
 	}
-	c.do(Ref{Kind: RefWrite, Addr: addr, Data: v})
+	c.post(Ref{Kind: RefWrite, Addr: addr, Data: v})
 }
 
 // TestAndSet atomically sets the line to 1 and returns its previous value.
@@ -137,7 +184,7 @@ func (c *Ctx) Barrier() { c.do(Ref{Kind: RefBarrier}) }
 
 // SetPhase writes the phase identifier register, tagging subsequent
 // transactions from this processor for the monitoring hardware.
-func (c *Ctx) SetPhase(p uint8) { c.do(Ref{Kind: RefPhase, Phase: p}) }
+func (c *Ctx) SetPhase(p uint8) { c.post(Ref{Kind: RefPhase, Phase: p}) }
 
 // Cycle returns the current simulation cycle. The call itself consumes one
 // cycle; latency probes subtract accordingly. With the fast path enabled
@@ -145,7 +192,7 @@ func (c *Ctx) SetPhase(p uint8) { c.do(Ref{Kind: RefPhase, Phase: p}) }
 // (resume cycle plus banked burst cycles) and the call touches no cache or
 // memory state, so no horizon check is needed.
 func (c *Ctx) Cycle() int64 {
-	if c.fast.enabled {
+	if c.fast.enabled && len(c.batch) == 0 {
 		v := c.fast.resumeAt + c.pending
 		c.pending++
 		return v
@@ -157,7 +204,7 @@ func (c *Ctx) Cycle() int64 {
 // addr from its remote home in the background (§3.1.4). The processor
 // continues immediately; a later Read finds the line in the NC. Prefetch
 // of a locally-homed line is a no-op.
-func (c *Ctx) Prefetch(addr uint64) { c.do(Ref{Kind: RefPrefetch, Addr: addr}) }
+func (c *Ctx) Prefetch(addr uint64) { c.post(Ref{Kind: RefPrefetch, Addr: addr}) }
 
 // Kill purges every cached copy of the line containing addr (the special
 // function of §3.1.2), blocking until the completion interrupt arrives.
@@ -196,6 +243,11 @@ type Runner struct {
 	prog    Program
 	started bool
 	done    bool
+
+	// bi indexes the next unserved entry of ctx.batch: the handshake
+	// delivers batch[0] over the channel and Next serves batch[1:] from the
+	// slice while the goroutine stays parked (see Ctx.batch).
+	bi int
 }
 
 // NewRunner prepares prog to run as processor id of nprocs.
@@ -206,22 +258,40 @@ func NewRunner(id, nprocs int, prog Program) *Runner {
 // Next resumes the workload with the result of its previous reference and
 // returns the next one. The first call starts the goroutine. After RefDone
 // is returned, Next must not be called again.
+//
+// While unserved batch entries remain, Next returns them in order without
+// waking the goroutine; prev is discarded, matching the unbatched protocol
+// where the callers of those references discard the resume value. Only
+// when the batch is exhausted does the final result travel back over the
+// resume channel.
 func (r *Runner) Next(prev uint64) Ref {
 	if r.done {
 		panic("proc: Next called after RefDone")
 	}
+	c := r.ctx
+	if r.bi < len(c.batch) {
+		ref := c.batch[r.bi]
+		r.bi++
+		if ref.Kind == RefDone {
+			r.done = true
+		}
+		return ref
+	}
 	if !r.started {
 		r.started = true
 		go func() {
-			r.prog(r.ctx)
+			r.prog(c)
 			// Carry any trailing Compute cycles so the completion timestamp
-			// matches the uncoalesced execution.
-			r.ctx.refs <- Ref{Kind: RefDone, Pre: r.ctx.pending}
+			// matches the uncoalesced execution. The final flush does not
+			// wait: nothing resumes a finished workload.
+			c.batch = append(c.batch, Ref{Kind: RefDone, Pre: c.pending})
+			c.refs <- c.batch[0]
 		}()
 	} else {
-		r.ctx.resume <- prev
+		c.resume <- prev
 	}
-	ref := <-r.ctx.refs
+	ref := <-c.refs
+	r.bi = 1
 	if ref.Kind == RefDone {
 		r.done = true
 	}

@@ -119,6 +119,13 @@ func (f *fastHits) hitCost(line uint64) int64 {
 // end re-classifies the reference at its real execution cycle.
 func (c *Ctx) fastRead(addr uint64) (uint64, bool) {
 	f := &c.fast
+	if len(c.batch) != 0 {
+		// A deferred burst is open: this reference executes only after the
+		// batch drains, at a cycle the front end cannot know, so the
+		// resume-relative virtual clock below is meaningless. Fall back (the
+		// handshake drains the batch first and re-classifies at real time).
+		return 0, false
+	}
 	u := f.resumeAt + c.pending
 	if u > f.horizon {
 		f.missWindow++
@@ -146,6 +153,9 @@ func (c *Ctx) fastRead(addr uint64) (uint64, bool) {
 // upgrade, misses a fetch). Mirrors the Dirty branch of CPU.startWrite.
 func (c *Ctx) fastWrite(addr, v uint64) bool {
 	f := &c.fast
+	if len(c.batch) != 0 {
+		return false // see fastRead: stale virtual clock while a burst is open
+	}
 	u := f.resumeAt + c.pending
 	if u > f.horizon {
 		f.missWindow++

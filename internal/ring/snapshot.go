@@ -23,8 +23,8 @@ func (r *Ring) Encode(e *snap.Enc) {
 
 // Encode appends the per-station nonsinkable credit counts.
 func (c *Credits) Encode(e *snap.Enc) {
-	for _, n := range c.inFlight {
-		e.Int(n)
+	for st := range c.inFlight {
+		e.Int(c.InFlight(st))
 	}
 }
 

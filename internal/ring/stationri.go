@@ -1,6 +1,8 @@
 package ring
 
 import (
+	"sync/atomic"
+
 	"numachine/internal/fault"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
@@ -12,35 +14,63 @@ import (
 // Credits bounds the number of nonsinkable messages each station may have
 // in the network at once (§2.4: up to 16 in the prototype). The bound is
 // what makes the sinkable/nonsinkable queueing discipline deadlock-free.
+//
+// The counters are atomics because credits are the one piece of ring state
+// shared across ring shards of the parallel cycle loop: only station st's
+// own ring interface ever acquires slot st (every ring-bound message is
+// injected at its source station), but releases happen wherever the
+// message is consumed or dropped — any shard. Under the loop's lookahead
+// mask (sharding is only chosen for a cycle when every station has at
+// least one free credit, see core.stepParallel) the single possible
+// acquire per station per cycle succeeds in every interleaving and
+// releases commute, so the atomic orderings never change an outcome; they
+// only make the cross-shard accounting race-free.
 type Credits struct {
-	max      int
-	inFlight []int
+	max      int32
+	inFlight []int32
 }
 
 // NewCredits creates the accounting for the given number of stations.
 func NewCredits(stations, max int) *Credits {
-	return &Credits{max: max, inFlight: make([]int, stations)}
+	return &Credits{max: int32(max), inFlight: make([]int32, stations)}
 }
 
 // TryAcquire reserves a slot for a nonsinkable message from station st.
+// Only st's own ring interface calls this, so the load/add pair cannot
+// race another acquire; a concurrent release merely frees headroom.
 func (c *Credits) TryAcquire(st int) bool {
-	if c.max > 0 && c.inFlight[st] >= c.max {
+	if c.max > 0 && atomic.LoadInt32(&c.inFlight[st]) >= c.max {
 		return false
 	}
-	c.inFlight[st]++
+	atomic.AddInt32(&c.inFlight[st], 1)
 	return true
 }
 
 // Release returns the slot when the message is consumed at its target.
 func (c *Credits) Release(st int) {
-	if c.inFlight[st] <= 0 {
+	if atomic.AddInt32(&c.inFlight[st], -1) < 0 {
 		panic("ring: nonsinkable credit underflow")
 	}
-	c.inFlight[st]--
 }
 
 // InFlight reports station st's outstanding nonsinkable messages.
-func (c *Credits) InFlight(st int) int { return c.inFlight[st] }
+func (c *Credits) InFlight(st int) int { return int(atomic.LoadInt32(&c.inFlight[st])) }
+
+// Headroom reports whether every station holds at least one free credit —
+// the lookahead-mask condition under which the parallel cycle loop may
+// shard the ring phase (at most one acquire per station per cycle can
+// occur, and it succeeds regardless of in-flight releases).
+func (c *Credits) Headroom() bool {
+	if c.max <= 0 {
+		return true
+	}
+	for st := range c.inFlight {
+		if atomic.LoadInt32(&c.inFlight[st]) >= c.max {
+			return false
+		}
+	}
+	return true
+}
 
 // StationRI is the local ring interface of one station (Figure 11). On the
 // upward path it packetizes bus messages into the sinkable or nonsinkable
@@ -70,6 +100,18 @@ type StationRI struct {
 	// multicast destination, injection-time drops, reassembled input). See
 	// msg.PacketPool for why reuse cannot change simulated behaviour.
 	pool msg.PacketPool
+
+	// Msgs recycles messages whose last stop is this interface (nil-safe;
+	// wired by core, shared with the station's other components): loopback
+	// originals superseded by their private copy, and unicast reassembly
+	// originals once the last aliasing packet has been consumed. Multicast
+	// originals (Invalidate, NetInterrupt, NetBarrier) stay aliased by
+	// other stations' in-flight packets and are never recycled, nor is any
+	// dup-safe original when a fault injector could have packetized it
+	// twice. The pool is touched from the station's phase-1 worker
+	// (BusDeliver) and its ring's phase-2 worker (Tick), which the cycle
+	// barrier separates.
+	Msgs *msg.MessagePool
 
 	// Figure 18a measurements.
 	SendDelay   monitor.Sampler // output-queue wait, upward path
@@ -126,9 +168,11 @@ func (r *StationRI) BusDeliver(m *msg.Message, now int64) {
 	// Degenerate but legal: a message addressed to this very station loops
 	// back locally (single-station machines).
 	if m.DstStation == r.Station && m.Type != msg.Invalidate {
-		cp := *m
-		r.route(&cp)
-		r.busOutQ.Push(&cp, now)
+		cp := r.Msgs.Get()
+		*cp = *m
+		r.route(cp)
+		r.busOutQ.Push(cp, now)
+		r.Msgs.Put(m) // superseded by the private copy
 		return
 	}
 	mask := m.Mask
@@ -297,8 +341,9 @@ func (r *StationRI) Tick(now int64) {
 		delete(r.reasm, m)
 		first := r.firstSeen[m]
 		delete(r.firstSeen, m)
-		cp := *m
-		r.route(&cp)
+		cp := r.Msgs.Get()
+		*cp = *m
+		r.route(cp)
 		if m.Type.Sinkable() {
 			r.DownSink.Sample(now - first)
 		} else {
@@ -307,11 +352,20 @@ func (r *StationRI) Tick(now int64) {
 		if !m.Type.Sinkable() && r.credits != nil {
 			r.credits.Release(m.SrcStation)
 		}
-		r.busOutQ.Push(&cp, now)
+		r.busOutQ.Push(cp, now)
 		r.Delivered.Inc()
 		r.Tr.Emit(now, trace.KindFlitDeliver, m.Line, m.TxnID,
 			int32(m.Type), int32(now-first))
 		r.unpackBusy = now + int64(r.p.RIUnpackCycles)
+		// A unicast original is dead once its last packet reassembles: the
+		// bus sees only the private copy above. Multicast originals remain
+		// aliased by other stations' packets; with a fault injector present
+		// any dup-safe original may have a duplicate packet chain still in
+		// flight (keyed by this same pointer), so those are left to the GC.
+		if m.Type != msg.Invalidate && m.Type != msg.NetInterrupt && m.Type != msg.NetBarrier &&
+			(r.Fault == nil || !m.Type.DupSafe()) {
+			r.Msgs.Put(m)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ShardPool runs a fixed set of independent shards on persistent worker
@@ -10,7 +11,26 @@ import (
 // station-parallel cycle loop: each shard is one station, the shard
 // function ticks that station's components, and Cycle is a full barrier —
 // when it returns, every shard has finished and its writes are visible to
-// the caller (the WaitGroup edge establishes the happens-before).
+// the caller.
+//
+// The hand-off is a sense-reversing barrier built from two atomics rather
+// than the classic per-cycle channel round:
+//
+//   - start: the caller publishes the cycle number and bumps an epoch
+//     counter (the "sense"); workers detect the bump with a bounded spin
+//     and fall back to a condvar sleep when the caller is slow — so an
+//     idle pool burns no CPU between runs, but a hot loop never pays the
+//     futex round-trip;
+//   - finish: each worker decrements a pending counter; the caller spins
+//     (yielding) until it reaches zero. The atomic decrement/load pair
+//     carries the happens-before edge that makes every shard's writes
+//     visible to the caller, exactly as the old WaitGroup did.
+//
+// Two channel operations plus a WaitGroup Add/Wait per cycle cost roughly
+// a microsecond at GOMAXPROCS>=4 (see BenchmarkShardPoolHandoff); the
+// barrier form costs a fraction of that, which matters when the simulator
+// dispatches the pool twice per simulated cycle (station phase and ring
+// phase).
 //
 // The shard-to-worker assignment is a fixed block partition, so a shard is
 // always ticked by the same goroutine while the pool is running. Workers
@@ -21,11 +41,33 @@ type ShardPool struct {
 	workers int
 	run     func(shard int, now int64) int
 
-	start   []chan int64
-	wg      sync.WaitGroup
-	counts  []int
+	now     int64         // cycle argument, written before the epoch bump
+	epoch   atomic.Uint32 // start signal; odd/even parity is the "sense"
+	pending atomic.Int32  // workers still running the current cycle
+	stopped atomic.Bool   // tells spinning/sleeping workers to exit
+
+	// sleepers counts workers blocked on cond. The caller only takes the
+	// mutex when it is non-zero; the worker re-checks epoch after
+	// registering, so the classic sleeping-barber race resolves to either
+	// the worker seeing the new epoch or the caller seeing the sleeper.
+	sleepers atomic.Int32
+	mu       sync.Mutex
+	cond     *sync.Cond
+
+	// counts is indexed worker*countStride to keep each worker's result on
+	// its own cache line.
+	counts  []int64
+	done    sync.WaitGroup // worker lifecycle (Stop waits for exits)
 	running bool
 }
+
+const countStride = 8 // int64s per cache line
+
+// spinBudget bounds the start-signal spin before a worker blocks on the
+// condvar. The budget is deliberately modest: during a run the next cycle
+// arrives within microseconds and the spin wins; between runs the worker
+// parks after ~a few microseconds of polling.
+const spinBudget = 1 << 14
 
 // NewShardPool builds a pool of min(workers, shards) workers; workers <= 0
 // means GOMAXPROCS. No goroutines start until the first Cycle.
@@ -36,33 +78,65 @@ func NewShardPool(workers, shards int, run func(shard int, now int64) int) *Shar
 	if workers > shards {
 		workers = shards
 	}
-	return &ShardPool{shards: shards, workers: workers, run: run}
+	p := &ShardPool{shards: shards, workers: workers, run: run}
+	p.cond = sync.NewCond(&p.mu)
+	return p
 }
 
 // Workers returns the worker count the pool settled on.
 func (p *ShardPool) Workers() int { return p.workers }
 
 func (p *ShardPool) launch() {
-	p.start = make([]chan int64, p.workers)
-	p.counts = make([]int, p.workers)
+	p.counts = make([]int64, p.workers*countStride)
+	p.stopped.Store(false)
+	p.done.Add(p.workers)
 	for w := 0; w < p.workers; w++ {
-		ch := make(chan int64, 1)
-		p.start[w] = ch
 		lo := w * p.shards / p.workers
 		hi := (w + 1) * p.shards / p.workers
-		count := &p.counts[w]
-		go func() {
-			for now := range ch {
-				n := 0
-				for s := lo; s < hi; s++ {
-					n += p.run(s, now)
-				}
-				*count = n
-				p.wg.Done()
-			}
-		}()
+		go p.worker(w, lo, hi, p.epoch.Load())
 	}
 	p.running = true
+}
+
+// worker is one pool goroutine: wait for an epoch bump, run the assigned
+// shard range, report completion, repeat until stopped.
+func (p *ShardPool) worker(w, lo, hi int, seen uint32) {
+	defer p.done.Done()
+	for {
+		// Start barrier: spin briefly, then sleep.
+		spins := 0
+		for p.epoch.Load() == seen {
+			if p.stopped.Load() {
+				return
+			}
+			spins++
+			if spins < spinBudget {
+				if spins&255 == 0 {
+					runtime.Gosched()
+				}
+				continue
+			}
+			p.sleepers.Add(1)
+			p.mu.Lock()
+			for p.epoch.Load() == seen && !p.stopped.Load() {
+				p.cond.Wait()
+			}
+			p.mu.Unlock()
+			p.sleepers.Add(-1)
+			break
+		}
+		if p.stopped.Load() {
+			return
+		}
+		seen = p.epoch.Load()
+		now := p.now
+		n := 0
+		for s := lo; s < hi; s++ {
+			n += p.run(s, now)
+		}
+		p.counts[w*countStride] = int64(n)
+		p.pending.Add(-1)
+	}
 }
 
 // Cycle runs every shard once at cycle now and returns the summed shard
@@ -71,14 +145,20 @@ func (p *ShardPool) Cycle(now int64) int {
 	if !p.running {
 		p.launch()
 	}
-	p.wg.Add(p.workers)
-	for _, ch := range p.start {
-		ch <- now
+	p.now = now
+	p.pending.Store(int32(p.workers))
+	p.epoch.Add(1)
+	if p.sleepers.Load() != 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
 	}
-	p.wg.Wait()
+	for p.pending.Load() != 0 {
+		runtime.Gosched()
+	}
 	total := 0
-	for _, n := range p.counts {
-		total += n
+	for w := 0; w < p.workers; w++ {
+		total += int(p.counts[w*countStride])
 	}
 	return total
 }
@@ -89,8 +169,10 @@ func (p *ShardPool) Stop() {
 	if !p.running {
 		return
 	}
-	for _, ch := range p.start {
-		close(ch)
-	}
-	p.start, p.counts, p.running = nil, nil, false
+	p.stopped.Store(true)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.done.Wait()
+	p.counts, p.running = nil, false
 }
