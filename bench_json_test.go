@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"numachine/internal/core"
+	"numachine/internal/serve"
 	"numachine/internal/workloads"
 )
 
@@ -71,13 +72,68 @@ type benchLoopEntry struct {
 	ParallelSpeedup float64 `json:"parallel_speedup_wall"`
 }
 
-// benchFile is the BENCH_6.json schema.
+// benchServeEntry is the serving-layer saturation row: one canonical
+// closed-loop scenario at full worker saturation. Throughput is in
+// simulated time (requests per kilocycle), so it is deterministic and
+// benchguard can compare it across hosts; wall_ns is informational.
+type benchServeEntry struct {
+	Spec              string  `json:"spec"`
+	Seed              uint64  `json:"seed"`
+	Requests          int64   `json:"requests"`
+	SimCycles         int64   `json:"sim_cycles"`
+	WallNS            int64   `json:"wall_ns"`
+	ThroughputPerKCyc float64 `json:"throughput_per_kcycle"`
+}
+
+// benchFile is the BENCH_6.json schema. The serve section is optional so
+// older manifests stay valid; benchguard compares it only when both
+// sides carry one.
 type benchFile struct {
 	Schema     string           `json:"schema"`
 	Loop       string           `json:"loop"` // loop of the workloads section
 	GoMaxProcs int              `json:"go_max_procs"`
 	Workloads  []benchEntry     `json:"workloads"`
 	CycleLoops []benchLoopEntry `json:"cycle_loops"`
+	Serve      *benchServeEntry `json:"serve,omitempty"`
+}
+
+// benchServeSpec is the canonical saturation scenario: a closed loop deep
+// enough to keep every worker busy, so completed/kilocycle measures the
+// serving layer's capacity rather than the arrival process.
+const benchServeSpec = "closed=16,requests=240,procs=8,tenants=4,span=512,depth=2," +
+	"discipline=edf,policy=locality," +
+	"class=interactive:4:8:20:25:4000,class=batch:1:64:80:50:0"
+
+// measureServe runs the canonical serving scenario once.
+func measureServe(t *testing.T) benchServeEntry {
+	t.Helper()
+	sp, err := serve.ParseSpec(benchServeSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(benchConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := serve.New(m, sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ctl.Run()
+	wall := time.Since(start)
+	sv := m.Results().Serve
+	if sv.Total.Completed != int64(sp.Requests) {
+		t.Fatalf("serve scenario completed %d of %d requests", sv.Total.Completed, sp.Requests)
+	}
+	return benchServeEntry{
+		Spec:              sv.Spec,
+		Seed:              sv.Seed,
+		Requests:          sv.Total.Completed,
+		SimCycles:         sv.Cycles,
+		WallNS:            wall.Nanoseconds(),
+		ThroughputPerKCyc: sv.Throughput(),
+	}
 }
 
 // benchJSONWorkloads are the manifest rows: the hit-heavy trio the fast
@@ -222,6 +278,10 @@ func TestBenchJSON(t *testing.T) {
 			w.name, w.procs, float64(sched.WallNS)/1e6, float64(par.WallNS)/1e6,
 			speedup, runtime.GOMAXPROCS(0))
 	}
+	sv := measureServe(t)
+	file.Serve = &sv
+	t.Logf("serve      requests=%d cycles=%d throughput=%.3f req/kcycle",
+		sv.Requests, sv.SimCycles, sv.ThroughputPerKCyc)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		t.Fatal(err)

@@ -66,12 +66,22 @@ type loopEntry struct {
 	ParallelSpeedup float64  `json:"parallel_speedup_wall"`
 }
 
+type serveEntry struct {
+	Spec              string  `json:"spec"`
+	Seed              uint64  `json:"seed"`
+	Requests          int64   `json:"requests"`
+	SimCycles         int64   `json:"sim_cycles"`
+	WallNS            int64   `json:"wall_ns"`
+	ThroughputPerKCyc float64 `json:"throughput_per_kcycle"`
+}
+
 type manifest struct {
 	Schema     string      `json:"schema"`
 	Loop       string      `json:"loop"`
 	GoMaxProcs int         `json:"go_max_procs"`
 	Workloads  []entry     `json:"workloads"`
 	CycleLoops []loopEntry `json:"cycle_loops"`
+	Serve      *serveEntry `json:"serve,omitempty"`
 }
 
 func load(path string) (*manifest, error) {
@@ -192,6 +202,26 @@ func main() {
 		fmt.Printf("%-24s loops: scheduled %6.0fms parallel %6.0fms speedup %.2fx  %s\n",
 			k, float64(c.Scheduled.WallNS)/1e6, float64(c.Parallel.WallNS)/1e6,
 			c.ParallelSpeedup, status)
+	}
+	// Serving-layer saturation throughput: simulated-time req/kcycle, so
+	// host speed does not enter — but the gate stays soft because the
+	// metric tracks intentional scheduling/protocol changes, not only
+	// regressions. Skipped unless both manifests carry the section for
+	// the same scenario.
+	if b, c := base.Serve, cur.Serve; b != nil && c != nil {
+		if b.Spec != c.Spec || b.Seed != c.Seed {
+			fmt.Printf("%-24s scenario changed; skipping serve check\n", "serve")
+		} else {
+			compared++
+			status := "ok"
+			delta := c.ThroughputPerKCyc/b.ThroughputPerKCyc - 1
+			if delta < -*threshold {
+				status = "REGRESSED"
+				regressed++
+			}
+			fmt.Printf("%-24s serve %9.3f -> %9.3f req/kcycle (%+6.1f%%)  %s\n",
+				"serve", b.ThroughputPerKCyc, c.ThroughputPerKCyc, 100*delta, status)
+		}
 	}
 	if compared == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: no comparable rows between baseline and current")

@@ -11,6 +11,7 @@
 //	experiments fig15-18               # NC + utilization + delay figures
 //	experiments table3                 # false remote requests
 //	experiments ablation               # SC locking on/off (§2.3's 2% claim)
+//	experiments serve                  # serving-layer policy x load sweep
 //	experiments all
 //
 // The -procs flag trims the speedup sweeps (default 1,2,4,8,16,32,64) and
@@ -48,6 +49,8 @@ func main() {
 	workers := flag.Int("workers", 1, "goroutines for independent sweep points (0 = GOMAXPROCS)")
 	parallel := flag.Bool("parallel", false, "station-parallel cycle loop inside each simulation")
 	maxProcs := flag.Int("gomaxprocs", 0, "cap OS threads running Go code (0 = runtime default); makes scaling comparisons reproducible across hosts")
+	serveBase := flag.String("serve-base", "duration=60000,tenants=4", "base -serve-spec for the serving sweep (coordinates appended per point)")
+	serveSeed := flag.Uint64("serve-seed", 1, "load-generator seed for the serving sweep")
 	traceDir := flag.String("trace-dir", "", "capture a Perfetto trace per sweep point into this directory")
 	traceEvt := flag.Int("trace-events", 0, "per-component trace ring-buffer capacity (0 = default)")
 	prof := profile.AddFlags()
@@ -160,6 +163,20 @@ func main() {
 		}
 		fmt.Println("(prototype 4 MB network cache — the paper's setting)")
 		experiments.PrintTable3(os.Stdout, rows)
+		return nil
+	})
+
+	run("serve", func() error {
+		fmt.Println("serving layer: placement policy x queue discipline x offered load")
+		fmt.Printf("(base spec %q, seed %d)\n", *serveBase, *serveSeed)
+		pts, err := experiments.SweepServe(cfg, *serveBase, *serveSeed,
+			[]string{"static", "locality", "least-load"},
+			[]string{"fifo", "edf"},
+			[]int{2, 4}, *workers)
+		if err != nil {
+			return err
+		}
+		experiments.PrintServeSweep(os.Stdout, pts)
 		return nil
 	})
 

@@ -9,6 +9,7 @@
 //	numasim -workload fft -procs 8 -trace trace.json   # Perfetto trace
 //	numasim -workload radix -procs 64 -http :8080      # live metrics
 //	numasim -workload fft -procs 8 -fault-spec 'drop=1e-3' -fault-seed 7
+//	numasim -serve -serve-spec 'open=2,duration=100000,procs=16' -serve-seed 7
 //	numasim -list
 package main
 
@@ -20,6 +21,7 @@ import (
 
 	"numachine/internal/core"
 	"numachine/internal/profile"
+	"numachine/internal/serve"
 	"numachine/internal/telemetry"
 	"numachine/internal/topo"
 	"numachine/internal/trace"
@@ -43,6 +45,10 @@ func main() {
 		naive    = flag.Bool("naive", false, "reference per-cycle loop instead of the event-aware scheduler")
 		fastHits = flag.Bool("fast-hits", true, "resolve cache hits in the workload front end (bit-identical; disable to A/B against the lock-step handshake)")
 		list     = flag.Bool("list", false, "list available workloads and exit")
+
+		serveOn   = flag.Bool("serve", false, "run the multi-tenant serving layer instead of a workload")
+		serveSpec = flag.String("serve-spec", "", "serving scenario, e.g. 'open=2,duration=100000,policy=locality' (empty = built-in default)")
+		serveSeed = flag.Uint64("serve-seed", 1, "seed for the serving load generator (same spec+seed = same report)")
 
 		faultSpec = flag.String("fault-spec", "", "fault schedule, e.g. 'drop=2e-4,dup=1e-4,freeze-mem=50000:400,degrade-ring=20000:300' (empty = fault-free)")
 		faultSeed = flag.Uint64("fault-seed", 1, "seed for the deterministic fault injector (same seed+spec = same run)")
@@ -97,11 +103,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	inst, err := workloads.Build(*workload, m, *procs, *size)
-	if err != nil {
-		fatal(err)
+	var (
+		inst *workloads.Instance
+		ctl  *serve.Controller
+		name string
+	)
+	if *serveOn {
+		sp, err := serve.ParseSpec(*serveSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if ctl, err = serve.New(m, sp, *serveSeed); err != nil {
+			fatal(err)
+		}
+		name = "serve"
+	} else {
+		if inst, err = workloads.Build(*workload, m, *procs, *size); err != nil {
+			fatal(err)
+		}
+		m.Load(inst.Progs)
+		name = inst.Name
 	}
-	m.Load(inst.Progs)
 
 	loop := "scheduled"
 	if *par {
@@ -121,19 +143,26 @@ func main() {
 		}
 		fmt.Printf("live metrics     http://%s/\n", addr)
 		m.SetSampler(*sample, func(m *core.Machine) {
-			srv.Publish(telemetry.SnapshotOf(m, inst.Name, loop, false))
+			srv.Publish(telemetry.SnapshotOf(m, name, loop, false))
 		})
 	}
 
-	cycles := m.Run()
+	var cycles int64
+	if ctl != nil {
+		cycles = ctl.Run()
+	} else {
+		cycles = m.Run()
+	}
 	if err := stopProf(); err != nil {
 		fatal(err)
 	}
 	if srv != nil {
-		srv.Publish(telemetry.SnapshotOf(m, inst.Name, loop, true))
+		srv.Publish(telemetry.SnapshotOf(m, name, loop, true))
 	}
-	if err := inst.Check(); err != nil {
-		fatal(fmt.Errorf("result check failed: %w", err))
+	if inst != nil {
+		if err := inst.Check(); err != nil {
+			fatal(fmt.Errorf("result check failed: %w", err))
+		}
 	}
 	if err := m.CheckCoherence(); err != nil {
 		fatal(fmt.Errorf("coherence check failed: %w", err))
@@ -141,7 +170,11 @@ func main() {
 
 	r := m.Results()
 	p := cfg.Params
-	fmt.Printf("workload         %s (size default=%v) on %d processors\n", inst.Name, *size == 0, *procs)
+	if ctl != nil {
+		fmt.Printf("workload         serving layer, spec %q\n", r.Serve.Spec)
+	} else {
+		fmt.Printf("workload         %s (size default=%v) on %d processors\n", inst.Name, *size == 0, *procs)
+	}
 	fmt.Printf("geometry         %d procs/station x %d stations/ring x %d rings\n",
 		cfg.Geom.ProcsPerStation, cfg.Geom.StationsPerRing, cfg.Geom.Rings)
 	fmt.Printf("parallel section %d cycles (%.2f ms at %d MHz)\n",
@@ -165,8 +198,13 @@ func main() {
 			r.Fault.RingFaultStalls, r.Fault.MemDownCycles, r.Fault.NCDownCycles)
 	}
 	if r.Proc.RetryStreaks > 0 {
-		fmt.Printf("NAK retries      %d references retried (streak mean %.1f, max %d); latency histogram %v\n",
-			r.Proc.RetryStreaks, r.Proc.RetryStreakMean, r.Proc.RetryStreakMax, r.Proc.RetryLatency)
+		h := &r.Proc.RetryLatency
+		fmt.Printf("NAK retries      %d references retried (streak mean %.1f, max %d); latency p50/p95/p99 %d/%d/%d max %d cycles\n",
+			r.Proc.RetryStreaks, r.Proc.RetryStreakMean, r.Proc.RetryStreakMax,
+			h.Percentile(0.50), h.Percentile(0.95), h.Percentile(0.99), h.Max())
+	}
+	if ctl != nil {
+		serve.WriteReport(os.Stdout, r.Serve)
 	}
 
 	if *traceOut != "" {

@@ -220,6 +220,21 @@ type Machine struct {
 	sampleEvery int64
 	sampleAt    int64
 	onSample    func(*Machine)
+
+	// External driver (SetDriver): onDrive runs at a serial point of the
+	// run loop every driveEvery cycles, *before* the cycle's step, and —
+	// unlike the sampler — at exactly the same cycles under every loop:
+	// the quiescence fast-forward clamps to driveAt (see step), so a drive
+	// lands on its scheduled cycle whether the machine walked or jumped
+	// there. The serving layer injects arrivals and dispatches requests
+	// from here.
+	driveEvery int64
+	driveAt    int64
+	onDrive    func(*Machine)
+
+	// serveReport, when set, contributes the serving-layer section of
+	// Results (see SetServeReport).
+	serveReport func() *ServeResults
 }
 
 // New builds a machine from cfg.
@@ -895,12 +910,41 @@ func (m *Machine) step() {
 		if m.watchdogAt > m.now && wake > m.watchdogAt {
 			wake = m.watchdogAt
 		}
+		// The external driver must observe every scheduled drive cycle:
+		// clamp like the watchdog so the fast-forward lands on driveAt
+		// instead of jumping over it. >= because stepScheduled has already
+		// advanced m.now — a drive due exactly now must suppress the jump
+		// entirely (wake becomes m.now) so Run fires it before moving on.
+		if m.onDrive != nil && m.driveAt >= m.now && wake > m.driveAt {
+			wake = m.driveAt
+		}
 		if wake > m.now && wake != sim.Never {
 			m.FastForwarded.Add(wake - m.now)
 			m.now = wake
 		}
 	}
 }
+
+// SetDriver arranges for fn to run at a serial point of the run loop
+// every `every` cycles, starting at the next step, before that cycle's
+// components tick. Drives are part of the simulated experiment, not
+// observation: unlike the sampler, they fire at *exactly* the same cycles
+// under every cycle loop (the quiescence fast-forward clamps to the next
+// drive), so a driver that mutates state visible to workload goroutines —
+// the serving layer's dispatcher — keeps the machine bit-identical across
+// naive/scheduled/parallel. Pass fn == nil to detach.
+func (m *Machine) SetDriver(every int64, fn func(*Machine)) {
+	if every <= 0 {
+		every = 1
+	}
+	m.driveEvery = every
+	m.driveAt = m.now
+	m.onDrive = fn
+}
+
+// SetServeReport registers the serving layer's results provider; Results
+// calls it to fill the Serve section. Pass nil to detach.
+func (m *Machine) SetServeReport(fn func() *ServeResults) { m.serveReport = fn }
 
 // Run executes until every loaded program finishes, returning the cycle
 // count of the parallel section (max completion time). It panics if the
@@ -936,6 +980,13 @@ func (m *Machine) Run() int64 {
 		starveWins = make([]int, len(m.CPUs))
 	}
 	for active() {
+		if m.onDrive != nil && m.now >= m.driveAt {
+			// Drive before the cycle's step: the driver sees the machine at
+			// the top of cycle now, before any component ticks, exactly as
+			// it would under the naive loop.
+			m.onDrive(m)
+			m.driveAt = m.now + m.driveEvery
+		}
 		m.step()
 		if m.Cfg.CheckInvariants {
 			q := m.Quiesced()

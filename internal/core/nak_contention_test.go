@@ -71,12 +71,8 @@ func TestNAKContentionBackoff(t *testing.T) {
 	if max := r.Proc.RetryStreakMax; max > 500 {
 		t.Errorf("worst NAK streak %d exceeds the retry budget", max)
 	}
-	var hist int64
-	for _, n := range r.Proc.RetryLatency {
-		hist += n
-	}
-	if hist != r.Proc.RetryStreaks {
-		t.Errorf("retry latency histogram sums to %d, want %d retried references", hist, r.Proc.RetryStreaks)
+	if n := r.Proc.RetryLatency.Count(); n != r.Proc.RetryStreaks {
+		t.Errorf("retry latency histogram holds %d samples, want %d retried references", n, r.Proc.RetryStreaks)
 	}
 
 	for _, loop := range equivLoops[1:] {

@@ -1,6 +1,6 @@
 package core
 
-import "numachine/internal/proc"
+import "numachine/internal/hist"
 
 // Results aggregates the machine's monitoring hardware into the metrics
 // the paper reports: communication path utilizations (Figure 17), ring
@@ -26,6 +26,64 @@ type Results struct {
 	Mem   MemResults
 	Proc  ProcResults
 	Fault FaultResults
+
+	// Serve is the serving-layer section, present only when a request
+	// front end drove this run (see internal/serve and SetServeReport).
+	Serve *ServeResults `json:",omitempty"`
+}
+
+// ServeGroup aggregates one slice of a serving run — a request class or a
+// tenant. Latency histograms are in CPU cycles.
+type ServeGroup struct {
+	Name       string
+	Arrived    int64
+	Dropped    int64 // rejected at admission (tenant queue full)
+	Completed  int64
+	Violations int64 // completed after their SLA deadline
+
+	Queued  hist.Hist // admission to dispatch
+	Service hist.Hist // dispatch to completion
+	Latency hist.Hist // arrival to completion (the user-visible number)
+}
+
+// ViolationRate is the fraction of completed requests that missed their
+// SLA deadline.
+func (g *ServeGroup) ViolationRate() float64 {
+	if g.Completed == 0 {
+		return 0
+	}
+	return float64(g.Violations) / float64(g.Completed)
+}
+
+// DropRate is the fraction of arrivals rejected at admission.
+func (g *ServeGroup) DropRate() float64 {
+	if g.Arrived == 0 {
+		return 0
+	}
+	return float64(g.Dropped) / float64(g.Arrived)
+}
+
+// ServeResults is the serving layer's report: totals plus per-class and
+// per-tenant breakdowns, all deterministic functions of (spec, seed).
+type ServeResults struct {
+	Spec       string
+	Seed       uint64
+	Policy     string
+	Discipline string
+
+	Cycles  int64 // serving window: first arrival drive to last completion
+	Total   ServeGroup
+	Classes []ServeGroup
+	Tenants []ServeGroup
+}
+
+// Throughput is the saturation metric: completed requests per kilocycle
+// over the serving window.
+func (s *ServeResults) Throughput() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Total.Completed) * 1000 / float64(s.Cycles)
 }
 
 // FaultResults aggregates the fault injector's observable effects; all
@@ -122,11 +180,11 @@ type ProcResults struct {
 	StallCycles    int64
 	BarrierCycles  int64
 
-	// NAK-retry visibility: RetryLatency[i] counts references that were
-	// NAK'ed at least once and completed within [2^i, 2^(i+1)) cycles of
-	// their first issue; the streak fields summarize consecutive-NAK runs
-	// (how convoyed the retries were).
-	RetryLatency    [proc.RetryBuckets]int64
+	// NAK-retry visibility: RetryLatency histograms the first-issue-to-
+	// completion latency of references that were NAK'ed at least once
+	// (percentiles via hist.Hist); the streak fields summarize
+	// consecutive-NAK runs (how convoyed the retries were).
+	RetryLatency    hist.Hist
 	RetryStreaks    int64   // references that needed at least one retry
 	RetryStreakMean float64 // mean consecutive NAKs per retried reference
 	RetryStreakMax  int64   // worst consecutive-NAK run
@@ -138,6 +196,9 @@ type ProcResults struct {
 func (m *Machine) Results() Results {
 	m.SyncStats()
 	r := Results{Cycles: m.now}
+	if m.serveReport != nil {
+		r.Serve = m.serveReport()
+	}
 	for _, b := range m.Buses {
 		r.BusUtil += b.Util.Value()
 	}
@@ -232,9 +293,7 @@ func (m *Machine) Results() Results {
 		r.Proc.StallCycles += s.StallCycles.Value()
 		r.Proc.BarrierCycles += s.BarrierCycles.Value()
 		var streakSum float64
-		for i := range s.RetryLatency {
-			r.Proc.RetryLatency[i] += s.RetryLatency[i].Value()
-		}
+		r.Proc.RetryLatency.Merge(&s.RetryLatency)
 		if n := s.RetryStreak.Count(); n > 0 {
 			streakSum = r.Proc.RetryStreakMean*float64(r.Proc.RetryStreaks) + s.RetryStreak.Mean()*float64(n)
 			r.Proc.RetryStreaks += n

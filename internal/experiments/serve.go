@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"numachine/internal/core"
+	"numachine/internal/serve"
+)
+
+// ServePoint is one (policy, discipline, load) cell of the serving-layer
+// sweep: the full serving report for that coordinate.
+type ServePoint struct {
+	Policy     string
+	Discipline string
+	Load       int // open-loop arrivals per 1000 cycles
+	Report     *core.ServeResults
+}
+
+// SweepServe runs the serving layer once per (policy, discipline, load)
+// coordinate, fanning the independent machines across the worker pool.
+// base is a -serve-spec string (empty = the built-in default scenario);
+// each point appends its coordinate clauses, which override base's. Every
+// point writes only its own input-order slot, so the result — and any
+// table printed from it — is byte-identical for any worker count.
+func SweepServe(cfg core.Config, base string, seed uint64, policies, disciplines []string, loads []int, workers int) ([]ServePoint, error) {
+	if base == "" {
+		base = serve.DefaultSpec
+	}
+	var pts []ServePoint
+	for _, pol := range policies {
+		for _, dis := range disciplines {
+			for _, load := range loads {
+				pts = append(pts, ServePoint{Policy: pol, Discipline: dis, Load: load})
+			}
+		}
+	}
+	out, err := parMap(workers, len(pts), func(i int) (*core.ServeResults, error) {
+		pt := pts[i]
+		spec := fmt.Sprintf("%s,open=%d,policy=%s,discipline=%s", base, pt.Load, pt.Policy, pt.Discipline)
+		sp, err := serve.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		m, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := serve.New(m, sp, seed)
+		if err != nil {
+			return nil, err
+		}
+		ctl.Run()
+		return m.Results().Serve, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range pts {
+		pts[i].Report = out[i]
+	}
+	return pts, nil
+}
+
+// PrintServeSweep renders the sweep as one row per coordinate: offered
+// load vs. achieved throughput, tail latency and SLA outcomes under each
+// placement policy and queue discipline.
+func PrintServeSweep(w io.Writer, pts []ServePoint) {
+	fmt.Fprintf(w, "%-12s %-6s %6s %8s %8s %10s %8s %8s %8s %7s %7s\n",
+		"policy", "disc", "load", "arrived", "done", "thru/kcyc", "p50", "p95", "p99", "viol%", "drop%")
+	for _, pt := range pts {
+		r := pt.Report
+		t := &r.Total
+		fmt.Fprintf(w, "%-12s %-6s %6d %8d %8d %10.3f %8d %8d %8d %6.1f%% %6.1f%%\n",
+			pt.Policy, pt.Discipline, pt.Load, t.Arrived, t.Completed, r.Throughput(),
+			t.Latency.Percentile(0.50), t.Latency.Percentile(0.95), t.Latency.Percentile(0.99),
+			100*t.ViolationRate(), 100*t.DropRate())
+	}
+}

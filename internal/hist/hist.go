@@ -1,0 +1,132 @@
+// Package hist provides a small fixed-layout streaming histogram for
+// nonnegative integer samples (latencies in cycles, queue depths). The
+// bucket layout is log-linear in the HDR style: values below 2^SubBits
+// get exact buckets, and every power-of-two range above is split into
+// 2^SubBits equal sub-buckets, bounding the relative quantization error
+// of any reported percentile to under 1/2^SubBits while keeping the
+// whole histogram a fixed-size value type.
+//
+// Because the layout is fixed, merging is exact: the merge of two
+// histograms is bucket-wise addition and equals the histogram of the
+// concatenated sample streams. That property is what lets per-CPU and
+// per-class histograms be aggregated into machine-level results that are
+// bit-identical no matter how the samples were partitioned — the same
+// contract every other monitor in the simulator obeys.
+package hist
+
+import "math/bits"
+
+// SubBits is the sub-bucket resolution: each power-of-two range is split
+// into 2^SubBits buckets, so percentile upper bounds overshoot the true
+// sample by less than 12.5%.
+const SubBits = 3
+
+// NumBuckets is the fixed bucket count: 2^SubBits exact low buckets plus
+// 2^SubBits sub-buckets for every major (power-of-two) range up to the
+// full int64 domain.
+const NumBuckets = 1<<SubBits + (63-SubBits)*(1<<SubBits)
+
+// Hist is a streaming histogram. The zero value is empty and ready to
+// use; Hist is a plain value type, so it can live inside result structs
+// and be compared with reflect.DeepEqual like every other counter.
+type Hist struct {
+	N       int64 // samples recorded
+	Sum     int64 // sum of all samples (for the exact mean)
+	MaxV    int64 // largest sample recorded
+	Buckets [NumBuckets]int64
+}
+
+// bucketOf maps a sample to its bucket index. Negative samples clamp to 0
+// (latency callers subtract timestamps; a zero-cycle latency is legal,
+// a negative one is a caller bug this keeps harmless).
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 1<<SubBits {
+		return int(v)
+	}
+	major := bits.Len64(uint64(v)) - 1 // >= SubBits
+	sub := int(v>>(uint(major-SubBits))) - 1<<SubBits
+	return 1<<SubBits + (major-SubBits)<<SubBits + sub
+}
+
+// upperOf returns the largest value a bucket covers (its inclusive upper
+// bound); percentiles report this bound, so they never understate.
+func upperOf(idx int) int64 {
+	if idx < 1<<SubBits {
+		return int64(idx)
+	}
+	idx -= 1 << SubBits
+	major := idx>>SubBits + SubBits
+	sub := int64(idx & (1<<SubBits - 1))
+	return (1<<SubBits+sub+1)<<uint(major-SubBits) - 1
+}
+
+// Add records one sample.
+func (h *Hist) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.N++
+	h.Sum += v
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+	h.Buckets[bucketOf(v)]++
+}
+
+// Merge folds o into h. The merge is exact: bucket layouts are identical,
+// so the result equals the histogram of both sample streams combined.
+func (h *Hist) Merge(o *Hist) {
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+	for i, n := range o.Buckets {
+		h.Buckets[i] += n
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.N }
+
+// Max returns the largest recorded sample (0 when empty).
+func (h *Hist) Max() int64 { return h.MaxV }
+
+// Mean returns the exact average sample, or 0 when empty.
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Percentile returns an upper bound on the p-quantile (p in [0, 1]): the
+// inclusive upper bound of the bucket holding the ceil(p*N)-th smallest
+// sample, clamped to the recorded maximum. Empty histograms report 0.
+func (h *Hist) Percentile(p float64) int64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := int64(p*float64(h.N) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.N {
+		rank = h.N
+	}
+	var cum int64
+	for i, n := range h.Buckets {
+		cum += n
+		if cum >= rank {
+			u := upperOf(i)
+			if u > h.MaxV {
+				u = h.MaxV
+			}
+			return u
+		}
+	}
+	return h.MaxV // unreachable: buckets sum to N
+}

@@ -1,0 +1,138 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmpty(t *testing.T) {
+	var h Hist
+	if h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty hist not zero: count=%d max=%d mean=%v", h.Count(), h.Max(), h.Mean())
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %d, want 0", p, got)
+		}
+	}
+}
+
+func TestOneSample(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 8, 100, 1 << 40} {
+		var h Hist
+		h.Add(v)
+		if h.Count() != 1 || h.Max() != v {
+			t.Fatalf("Add(%d): count=%d max=%d", v, h.Count(), h.Max())
+		}
+		if h.Mean() != float64(v) {
+			t.Fatalf("Add(%d): mean=%v", v, h.Mean())
+		}
+		// With one sample, every percentile is that sample's bucket bound,
+		// clamped to the max — i.e. exactly v.
+		for _, p := range []float64{0, 0.5, 0.99, 1} {
+			if got := h.Percentile(p); got != v {
+				t.Fatalf("Add(%d): Percentile(%v) = %d, want %d", v, p, got, v)
+			}
+		}
+	}
+}
+
+func TestNegativeClampsToZero(t *testing.T) {
+	var h Hist
+	h.Add(-5)
+	if h.Count() != 1 || h.Sum != 0 || h.Max() != 0 || h.Percentile(1) != 0 {
+		t.Fatalf("negative sample not clamped: %+v", h)
+	}
+}
+
+func TestSmallValuesExact(t *testing.T) {
+	// Values below 2^SubBits occupy exact buckets: percentiles are exact.
+	var h Hist
+	for v := int64(0); v < 1<<SubBits; v++ {
+		h.Add(v)
+	}
+	if got := h.Percentile(0.5); got != 3 {
+		t.Fatalf("p50 of 0..7 = %d, want 3", got)
+	}
+	if got := h.Percentile(1); got != 7 {
+		t.Fatalf("p100 of 0..7 = %d, want 7", got)
+	}
+}
+
+func TestPercentileBound(t *testing.T) {
+	// The reported percentile never understates the true quantile and
+	// overshoots it by less than 1/2^SubBits relatively.
+	rng := rand.New(rand.NewSource(1))
+	var h Hist
+	var samples []int64
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << uint(rng.Intn(30)))
+		samples = append(samples, v)
+		h.Add(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, p := range []float64{0.5, 0.9, 0.95, 0.99, 1} {
+		rank := int(p*float64(len(samples)) + 0.9999999)
+		if rank < 1 {
+			rank = 1
+		}
+		exact := samples[rank-1]
+		got := h.Percentile(p)
+		if got < exact {
+			t.Fatalf("p%v understated: got %d, exact %d", p*100, got, exact)
+		}
+		limit := exact + exact/(1<<SubBits) + 1
+		if got > limit {
+			t.Fatalf("p%v overshoot: got %d, exact %d (limit %d)", p*100, got, exact, limit)
+		}
+	}
+}
+
+func TestMergeExact(t *testing.T) {
+	// Merging partitioned streams equals histogramming the concatenation —
+	// the property the per-CPU result merge relies on.
+	rng := rand.New(rand.NewSource(2))
+	var whole, a, b Hist
+	for i := 0; i < 4000; i++ {
+		v := rng.Int63n(1 << 20)
+		whole.Add(v)
+		if i%3 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatalf("merge not exact:\n a+b = %+v\nwhole = %+v", a, whole)
+	}
+	// Merging an empty histogram is the identity.
+	var empty Hist
+	before := whole
+	whole.Merge(&empty)
+	if whole != before {
+		t.Fatal("merging empty hist changed the receiver")
+	}
+}
+
+func TestBucketLayout(t *testing.T) {
+	// Every bucket's upper bound maps back to that bucket, bounds are
+	// strictly increasing, and bucketOf is monotone across boundaries.
+	prev := int64(-1)
+	for i := 0; i < NumBuckets; i++ {
+		u := upperOf(i)
+		if u <= prev {
+			t.Fatalf("bucket %d upper bound %d not increasing (prev %d)", i, u, prev)
+		}
+		if got := bucketOf(u); got != i {
+			t.Fatalf("bucketOf(upperOf(%d)) = %d", i, got)
+		}
+		if u < 1<<62 { // u+1 must land in the next bucket
+			if got := bucketOf(u + 1); got != i+1 {
+				t.Fatalf("bucketOf(%d) = %d, want %d", u+1, got, i+1)
+			}
+		}
+		prev = u
+	}
+}

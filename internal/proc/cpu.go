@@ -2,9 +2,9 @@ package proc
 
 import (
 	"fmt"
-	"math/bits"
 
 	"numachine/internal/cache"
+	"numachine/internal/hist"
 	"numachine/internal/monitor"
 	"numachine/internal/msg"
 	"numachine/internal/sim"
@@ -24,12 +24,6 @@ const (
 	sDone
 )
 
-// RetryBuckets is the size of the NAK-retry latency histogram: bucket i
-// counts references that needed at least one retry and completed within
-// [2^i, 2^(i+1)) cycles of their first issue (the last bucket absorbs
-// the tail).
-const RetryBuckets = 16
-
 // Stats collects the processor-module monitoring counters.
 type Stats struct {
 	Reads, Writes  monitor.Counter
@@ -48,20 +42,8 @@ type Stats struct {
 	// references that were NAK'ed at least once; RetryStreak samples how
 	// many consecutive NAKs each such reference absorbed. Together they
 	// make retry convoys visible in the results and telemetry.
-	RetryLatency [RetryBuckets]monitor.Counter
+	RetryLatency hist.Hist
 	RetryStreak  monitor.Sampler
-}
-
-// retryBucket maps a retry latency to its histogram bucket.
-func retryBucket(cycles int64) int {
-	if cycles < 1 {
-		cycles = 1
-	}
-	b := bits.Len64(uint64(cycles)) - 1
-	if b >= RetryBuckets {
-		b = RetryBuckets - 1
-	}
-	return b
 }
 
 // CPU is one processor module: R4400-like core + primary cache model +
@@ -609,7 +591,7 @@ func (c *CPU) retryDone(now int64) {
 		return
 	}
 	c.Stats.RetryStreak.Sample(int64(c.nakStreak))
-	c.Stats.RetryLatency[retryBucket(now-c.firstIssueAt)].Inc()
+	c.Stats.RetryLatency.Add(now - c.firstIssueAt)
 	c.nakStreak = 0
 }
 

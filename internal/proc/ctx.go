@@ -200,6 +200,18 @@ func (c *Ctx) Cycle() int64 {
 	return int64(c.do(Ref{Kind: RefCycle}))
 }
 
+// Sync is Cycle with a forced handshake: it always hands the batch to the
+// back end and parks the goroutine until the back end executes the probe,
+// even when the hit fast path could answer from the front end. Drivers
+// that exchange work with the simulation loop through shared memory (the
+// serving layer's dispatch mailboxes) call Sync instead of Cycle so the
+// goroutine observes exactly the state published at or before the
+// returned cycle: the handshake pins the goroutine's execution point to
+// its CPU's tick, closing the run-ahead window in which a fast-path
+// Cycle would let it read the mailbox "early". Timing is identical to
+// Cycle — the probe costs the same one cycle either way.
+func (c *Ctx) Sync() int64 { return int64(c.do(Ref{Kind: RefCycle})) }
+
 // Prefetch asks the station's network cache to fetch the line containing
 // addr from its remote home in the background (§3.1.4). The processor
 // continues immediately; a later Read finds the line in the NC. Prefetch

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+
+	"numachine/internal/core"
+	"numachine/internal/hist"
+)
+
+// Report builds the serving-layer results section. It is safe at any
+// serial point of the run loop (the telemetry sampler calls it mid-run
+// through Machine.Results), and deterministic: every field is a pure
+// function of (machine config, spec, seed).
+func (ctl *Controller) Report() *core.ServeResults {
+	r := &core.ServeResults{
+		Spec:       ctl.spec.String(),
+		Seed:       ctl.seed,
+		Policy:     ctl.spec.Policy,
+		Discipline: ctl.spec.Discipline,
+		Total:      ctl.total,
+		Classes:    append([]core.ServeGroup(nil), ctl.classes...),
+		Tenants:    append([]core.ServeGroup(nil), ctl.tenants...),
+	}
+	if ctl.start >= 0 && ctl.lastDone > ctl.start {
+		r.Cycles = ctl.lastDone - ctl.start
+	}
+	return r
+}
+
+// String renders the spec in canonical clause order; ParseSpec(s.String())
+// reproduces s, and a report's Spec field always uses this form.
+func (sp Spec) String() string {
+	var b []byte
+	add := func(format string, args ...any) {
+		if len(b) > 0 {
+			b = append(b, ',')
+		}
+		b = fmt.Appendf(b, format, args...)
+	}
+	if sp.OpenRate > 0 {
+		add("open=%d", sp.OpenRate)
+	}
+	if sp.Closed > 0 {
+		add("closed=%d", sp.Closed)
+	}
+	if sp.Duration > 0 {
+		add("duration=%d", sp.Duration)
+	}
+	if sp.Requests > 0 {
+		add("requests=%d", sp.Requests)
+	}
+	add("procs=%d", sp.Procs)
+	add("tenants=%d", sp.Tenants)
+	add("qcap=%d", sp.QueueCap)
+	add("depth=%d", sp.Depth)
+	add("span=%d", sp.SpanLines)
+	add("poll=%d", sp.Poll)
+	add("quantum=%d", sp.Quantum)
+	add("discipline=%s", sp.Discipline)
+	add("policy=%s", sp.Policy)
+	for _, c := range sp.Classes {
+		add("class=%s:%d:%d:%d:%d:%d", c.Name, c.Weight, c.Touches, c.Think, c.WritePct, c.Deadline)
+	}
+	return string(b)
+}
+
+// WriteReport renders the human-readable serving report. The output is a
+// deterministic function of r alone — the equivalence tests compare
+// these bytes across cycle loops.
+func WriteReport(w io.Writer, r *core.ServeResults) {
+	fmt.Fprintf(w, "serve            policy=%s discipline=%s seed=%d\n", r.Policy, r.Discipline, r.Seed)
+	fmt.Fprintf(w, "window           %d cycles, %d arrived, %d completed, %d dropped, throughput %.3f req/kcycle\n",
+		r.Cycles, r.Total.Arrived, r.Total.Completed, r.Total.Dropped, r.Throughput())
+	writeGroups(w, "class", r.Classes)
+	writeGroups(w, "tenant", r.Tenants)
+}
+
+func writeGroups(w io.Writer, kind string, groups []core.ServeGroup) {
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %6s %8s %8s %8s %8s %8s\n",
+		kind, "arrived", "done", "dropped", "viol%", "q-p95", "p50", "p95", "p99", "max")
+	for i := range groups {
+		g := &groups[i]
+		fmt.Fprintf(w, "  %-14s %8d %8d %8d %5.1f%% %8d %8d %8d %8d %8d\n",
+			g.Name, g.Arrived, g.Completed, g.Dropped, 100*g.ViolationRate(),
+			g.Queued.Percentile(0.95), pct(&g.Latency, 0.50), pct(&g.Latency, 0.95),
+			pct(&g.Latency, 0.99), g.Latency.Max())
+	}
+}
+
+func pct(h *hist.Hist, p float64) int64 { return h.Percentile(p) }

@@ -1,0 +1,440 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"numachine/internal/core"
+	"numachine/internal/proc"
+	"numachine/internal/sim"
+	"numachine/internal/workloads"
+)
+
+// request is one unit of work flowing generator -> tenant queue ->
+// worker mailbox -> completion accounting. All cycle stamps are absolute.
+type request struct {
+	seq      int64
+	tenant   int
+	class    int
+	arrived  int64 // generator's arrival cycle
+	deadline int64 // absolute SLA deadline (sim.Never when none)
+	shape    workloads.RequestShape
+
+	started int64 // worker's dispatch-observation cycle (Ctx.Sync)
+	done    int64 // worker's completion cycle (Ctx.Sync)
+}
+
+// box is one worker's mailbox. The dispatcher appends to in and drains
+// out; the worker goroutine reads in[head:] and appends to out. The two
+// sides never run concurrently: the worker only executes nested inside
+// its CPU's tick (the front-end alternation invariant), and the
+// dispatcher only at SetDriver serial points; in-slots are consumed by
+// head index, never resliced, so both sides' slice headers stay valid.
+type box struct {
+	in   []*request
+	head int
+	out  []*request
+	stop bool
+
+	load     int    // dispatched minus collected (dispatcher-owned)
+	doorbell uint64 // line the worker polls while idle (feeds the watchdog)
+}
+
+// Controller owns one serving run over one machine.
+type Controller struct {
+	spec Spec
+	seed uint64
+	m    *core.Machine
+
+	// Substream PRNGs, one per decision site, drawn in arrival order only
+	// (inside the drive hook), as internal/fault does per component.
+	gapRNG    *sim.RNG // open-loop inter-arrival gaps
+	classRNG  *sim.RNG // class picks
+	tenantRNG *sim.RNG // tenant picks
+	shapeRNG  *sim.RNG // per-request traversal offsets
+
+	spans  []workloads.Span // per tenant
+	homes  []int            // per tenant: station owning the span
+	boxes  []*box
+	queues [][]*request // per tenant, service order decided at dispatch
+
+	seq       int64
+	generated int
+	queued    int
+	inFlight  int
+	arriving  []*request // admitted this drive, pending queue insert
+	nextAt    int64      // next open-loop arrival cycle
+	openDone  bool
+	rrCursor  int // static policy round-robin position
+
+	start    int64 // first drive cycle
+	lastDone int64
+
+	total   core.ServeGroup
+	classes []core.ServeGroup
+	tenants []core.ServeGroup
+
+	weightSum int
+}
+
+// New validates the spec against the machine and builds a controller.
+// Call Run to execute the scenario.
+func New(m *core.Machine, sp Spec, seed uint64) (*Controller, error) {
+	if sp.Procs > m.Geometry().Procs() {
+		return nil, fmt.Errorf("serve: %d workers on a %d-processor machine", sp.Procs, m.Geometry().Procs())
+	}
+	ctl := &Controller{
+		spec:      sp,
+		seed:      seed,
+		m:         m,
+		gapRNG:    sim.NewRNG(substream(seed, "serve/gap")),
+		classRNG:  sim.NewRNG(substream(seed, "serve/class")),
+		tenantRNG: sim.NewRNG(substream(seed, "serve/tenant")),
+		shapeRNG:  sim.NewRNG(substream(seed, "serve/shape")),
+		start:     -1,
+		classes:   make([]core.ServeGroup, len(sp.Classes)),
+		tenants:   make([]core.ServeGroup, sp.Tenants),
+		queues:    make([][]*request, sp.Tenants),
+	}
+	for i, c := range sp.Classes {
+		ctl.classes[i].Name = c.Name
+		ctl.weightSum += c.Weight
+	}
+	pps := m.Geometry().ProcsPerStation
+	occupied := (sp.Procs + pps - 1) / pps // stations that actually host workers
+	for t := 0; t < sp.Tenants; t++ {
+		ctl.tenants[t].Name = fmt.Sprintf("tenant%d", t)
+		ctl.homes = append(ctl.homes, t%occupied)
+		ctl.spans = append(ctl.spans, workloads.NewSpanAt(m, t%occupied, sp.SpanLines))
+	}
+	for w := 0; w < sp.Procs; w++ {
+		b := &box{doorbell: m.AllocAt(w/pps, m.Params().LineSize)}
+		ctl.boxes = append(ctl.boxes, b)
+	}
+	return ctl, nil
+}
+
+// substream derives a site-specific seed by folding an FNV-1a hash of the
+// name into the global seed (the internal/fault idiom).
+func substream(seed uint64, name string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return seed ^ h
+}
+
+// Run loads the worker programs, attaches the dispatcher to the run
+// loop's drive hook, and executes the scenario to completion. It returns
+// the machine's parallel-section cycle count; the serving report is
+// available from Report (and through Machine.Results).
+func (ctl *Controller) Run() int64 {
+	progs := make([]proc.Program, ctl.spec.Procs)
+	for w := range progs {
+		progs[w] = ctl.worker(w)
+	}
+	ctl.m.Load(progs)
+	ctl.m.SetDriver(ctl.spec.Quantum, ctl.drive)
+	ctl.m.SetServeReport(ctl.Report)
+	cycles := ctl.m.Run()
+	ctl.m.SetDriver(0, nil)
+	return cycles
+}
+
+// worker builds worker w's program: poll the mailbox at handshake-pinned
+// cycles, run each dispatched request as a span traversal, stamp its
+// start/completion cycles, and park on the idle poll otherwise. Every
+// mailbox access sits next to a Ctx.Sync handshake, so the goroutine
+// observes exactly the dispatcher state published at or before the
+// returned cycle under every cycle loop and fast-hits setting.
+func (ctl *Controller) worker(w int) proc.Program {
+	sp := ctl.spec
+	return func(c *proc.Ctx) {
+		b := ctl.boxes[w]
+		for {
+			t := c.Sync()
+			if b.head < len(b.in) {
+				r := b.in[b.head]
+				b.head++
+				r.started = t
+				workloads.RunRequest(c, ctl.spans[r.tenant], r.shape)
+				r.done = c.Sync()
+				b.out = append(b.out, r)
+				continue
+			}
+			if b.stop {
+				return
+			}
+			// Idle: poll the doorbell line (keeps the forward-progress
+			// watchdog fed — an idle server still executes its poll loop)
+			// and sleep until the next poll.
+			c.Read(b.doorbell)
+			c.Compute(sp.Poll)
+		}
+	}
+}
+
+// drive is the dispatcher, run at a serial point of the machine's run
+// loop every Quantum cycles — at exactly the same cycles under every
+// loop. One drive: collect completions, generate arrivals due by now,
+// admit them to tenant queues, dispatch queued requests to workers, and
+// signal shutdown once everything has drained.
+func (ctl *Controller) drive(m *core.Machine) {
+	now := m.Now()
+	if ctl.start < 0 {
+		ctl.start = now
+		ctl.prime(now)
+	}
+	ctl.collect()
+	ctl.generate(now)
+	ctl.admit()
+	ctl.dispatch()
+	if ctl.genDone() && ctl.queued == 0 && ctl.inFlight == 0 {
+		for _, b := range ctl.boxes {
+			b.stop = true
+		}
+	}
+}
+
+// prime seeds the arrival process at the first drive.
+func (ctl *Controller) prime(now int64) {
+	if ctl.spec.OpenRate > 0 {
+		ctl.nextAt = now + ctl.gap()
+		return
+	}
+	// Closed loop: fill the concurrency window.
+	for i := 0; i < ctl.spec.Closed && ctl.generated < ctl.spec.Requests; i++ {
+		ctl.arriving = append(ctl.arriving, ctl.newRequest(now))
+	}
+}
+
+// gap draws one open-loop inter-arrival gap: exponential with mean
+// 1000/OpenRate cycles, floored at one cycle.
+func (ctl *Controller) gap() int64 {
+	u := 1 - ctl.gapRNG.Float64() // (0, 1]
+	g := int64(-math.Log(u) * 1000 / float64(ctl.spec.OpenRate))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// generate produces the open-loop arrivals due at or before now.
+func (ctl *Controller) generate(now int64) {
+	if ctl.spec.OpenRate == 0 {
+		return
+	}
+	for !ctl.openDone && ctl.nextAt <= now {
+		ctl.arriving = append(ctl.arriving, ctl.newRequest(ctl.nextAt))
+		ctl.nextAt += ctl.gap()
+		ctl.checkOpenDone()
+	}
+	ctl.checkOpenDone()
+}
+
+func (ctl *Controller) checkOpenDone() {
+	if ctl.spec.Duration > 0 && ctl.nextAt > ctl.start+ctl.spec.Duration {
+		ctl.openDone = true
+	}
+	if ctl.spec.Requests > 0 && ctl.generated >= ctl.spec.Requests {
+		ctl.openDone = true
+	}
+}
+
+// genDone reports whether the arrival process has finished.
+func (ctl *Controller) genDone() bool {
+	if ctl.spec.OpenRate > 0 {
+		return ctl.openDone
+	}
+	return ctl.generated >= ctl.spec.Requests
+}
+
+// newRequest draws one request: tenant, class and traversal offset each
+// come from their own substream, consumed strictly in arrival order.
+func (ctl *Controller) newRequest(arrived int64) *request {
+	sp := ctl.spec
+	tenant := ctl.tenantRNG.Intn(sp.Tenants)
+	pick := ctl.classRNG.Intn(ctl.weightSum)
+	class := 0
+	for i, c := range sp.Classes {
+		if pick < c.Weight {
+			class = i
+			break
+		}
+		pick -= c.Weight
+	}
+	cl := sp.Classes[class]
+	deadline := sim.Never
+	if cl.Deadline > 0 {
+		deadline = arrived + cl.Deadline
+	}
+	r := &request{
+		seq:      ctl.seq,
+		tenant:   tenant,
+		class:    class,
+		arrived:  arrived,
+		deadline: deadline,
+		shape: workloads.RequestShape{
+			Touches:  cl.Touches,
+			Offset:   ctl.shapeRNG.Intn(sp.SpanLines),
+			Stride:   1,
+			WritePct: cl.WritePct,
+			Think:    cl.Think,
+		},
+	}
+	ctl.seq++
+	ctl.generated++
+	return r
+}
+
+// admit moves this drive's arrivals into their tenant queues, dropping
+// when a queue is at capacity.
+func (ctl *Controller) admit() {
+	for _, r := range ctl.arriving {
+		full := len(ctl.queues[r.tenant]) >= ctl.spec.QueueCap
+		ctl.account(r, func(g *core.ServeGroup) {
+			g.Arrived++
+			if full {
+				g.Dropped++
+			}
+		})
+		if full {
+			continue
+		}
+		ctl.queues[r.tenant] = append(ctl.queues[r.tenant], r)
+		ctl.queued++
+	}
+	ctl.arriving = ctl.arriving[:0]
+}
+
+// account applies f to each accumulator a request contributes to: the
+// run total, its class and its tenant.
+func (ctl *Controller) account(r *request, f func(*core.ServeGroup)) {
+	f(&ctl.total)
+	f(&ctl.classes[r.class])
+	f(&ctl.tenants[r.tenant])
+}
+
+// collect drains every worker's out list, accounting latencies, SLA
+// verdicts and (closed loop) spawning replacement arrivals.
+func (ctl *Controller) collect() {
+	for _, b := range ctl.boxes {
+		for _, r := range b.out {
+			ctl.inFlight--
+			b.load--
+			if r.done > ctl.lastDone {
+				ctl.lastDone = r.done
+			}
+			ctl.account(r, func(g *core.ServeGroup) {
+				g.Completed++
+				g.Queued.Add(r.started - r.arrived)
+				g.Service.Add(r.done - r.started)
+				g.Latency.Add(r.done - r.arrived)
+				if r.done > r.deadline {
+					g.Violations++
+				}
+			})
+			if ctl.spec.Closed > 0 && ctl.generated < ctl.spec.Requests {
+				ctl.arriving = append(ctl.arriving, ctl.newRequest(ctl.m.Now()))
+			}
+		}
+		b.out = b.out[:0]
+	}
+}
+
+// dispatch drains tenant queues onto workers with headroom: the
+// discipline picks the next request, the policy picks its worker.
+func (ctl *Controller) dispatch() {
+	for ctl.queued > 0 {
+		tenant, idx := ctl.pick()
+		r := ctl.queues[tenant][idx]
+		w := ctl.place(r)
+		if w < 0 {
+			return // every worker at depth; try again next drive
+		}
+		ctl.queues[tenant] = append(ctl.queues[tenant][:idx], ctl.queues[tenant][idx+1:]...)
+		ctl.queued--
+		ctl.inFlight++
+		b := ctl.boxes[w]
+		b.load++
+		b.in = append(b.in, r)
+	}
+}
+
+// pick applies the service discipline over all tenant queues, returning
+// the chosen request's (tenant, index). FIFO serves the globally oldest
+// head-of-queue; EDF serves the earliest absolute deadline anywhere in
+// the queues (deadline-free requests sort last), sequence as tiebreak.
+func (ctl *Controller) pick() (tenant, idx int) {
+	tenant = -1
+	var bestSeq int64
+	var bestDL int64
+	for t, q := range ctl.queues {
+		if len(q) == 0 {
+			continue
+		}
+		switch ctl.spec.Discipline {
+		case "edf":
+			for i, r := range q {
+				if tenant < 0 || r.deadline < bestDL || (r.deadline == bestDL && r.seq < bestSeq) {
+					tenant, idx, bestDL, bestSeq = t, i, r.deadline, r.seq
+				}
+			}
+		default: // fifo
+			if r := q[0]; tenant < 0 || r.seq < bestSeq {
+				tenant, idx, bestSeq = t, 0, r.seq
+			}
+		}
+	}
+	return tenant, idx
+}
+
+// place applies the placement policy, returning the worker for r or -1
+// when every worker is at its dispatch depth.
+//
+//	static      round-robin over workers, ignoring the request
+//	locality    prefer workers on the station owning the tenant's span,
+//	            least-loaded first; fall back to global least-loaded
+//	least-load  global least-outstanding-load, lowest index as tiebreak
+func (ctl *Controller) place(r *request) int {
+	sp := ctl.spec
+	switch sp.Policy {
+	case "locality":
+		home := ctl.homes[r.tenant]
+		pps := ctl.m.Geometry().ProcsPerStation
+		if w := ctl.leastLoaded(func(w int) bool { return w/pps == home }); w >= 0 {
+			return w
+		}
+		return ctl.leastLoaded(nil)
+	case "least-load":
+		return ctl.leastLoaded(nil)
+	default: // static
+		for i := 0; i < len(ctl.boxes); i++ {
+			w := (ctl.rrCursor + i) % len(ctl.boxes)
+			if ctl.boxes[w].load < sp.Depth {
+				ctl.rrCursor = (w + 1) % len(ctl.boxes)
+				return w
+			}
+		}
+		return -1
+	}
+}
+
+// leastLoaded returns the eligible worker with headroom and the smallest
+// outstanding load (lowest index breaks ties), or -1.
+func (ctl *Controller) leastLoaded(eligible func(int) bool) int {
+	best := -1
+	for w, b := range ctl.boxes {
+		if eligible != nil && !eligible(w) {
+			continue
+		}
+		if b.load >= ctl.spec.Depth {
+			continue
+		}
+		if best < 0 || b.load < ctl.boxes[best].load {
+			best = w
+		}
+	}
+	return best
+}

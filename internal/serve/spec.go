@@ -1,0 +1,264 @@
+// Package serve is the serving layer: a deterministic multi-tenant
+// request front end that drives the machine as a server instead of a
+// batch kernel. A seed-driven load generator produces open-loop
+// (Poisson-style) or closed-loop (fixed-concurrency) streams of requests
+// drawn from weighted classes; an admission layer queues them per tenant
+// (FIFO or EDF service order); a placement policy maps each dispatched
+// request onto a station CPU, where it runs as a short memory-traversal
+// job over its tenant's span (workloads.RunRequest); and the results
+// layer reports per-tenant/per-class latency percentiles, SLA violation
+// rates, admission drops and saturation throughput.
+//
+// Everything is a pure function of (machine config, spec, seed): the
+// generator draws from substream PRNGs in arrival order, the dispatcher
+// runs only at Machine.SetDriver serial points (exactly the same cycles
+// under every cycle loop), and workers exchange work with the dispatcher
+// only around proc.Ctx.Sync handshakes — so the same spec+seed produces
+// byte-identical reports across the naive, scheduled and parallel loops,
+// with the front-end hit fast path on or off. The equivalence tests pin
+// this.
+package serve
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Class is one request class: a weighted slice of the arrival stream with
+// a fixed job shape and an SLA deadline.
+type Class struct {
+	Name     string
+	Weight   int   // relative share of arrivals
+	Touches  int   // lines traversed per request
+	Think    int64 // compute cycles between touches
+	WritePct int   // percent of touches that are writes
+	Deadline int64 // SLA: cycles from arrival to completion; 0 = none
+}
+
+// Spec configures one serving run. Exactly one of OpenRate/Closed is
+// non-zero.
+type Spec struct {
+	OpenRate int   // open loop: mean arrivals per 1000 cycles
+	Closed   int   // closed loop: fixed in-flight concurrency
+	Duration int64 // open loop: arrival window in cycles
+	Requests int   // total requests (cap for open loop; required closed)
+
+	Procs     int   // worker CPUs (the first Procs processors)
+	Tenants   int   // tenant count; each gets its own queue and span
+	QueueCap  int   // per-tenant admission queue capacity
+	Depth     int   // per-worker outstanding dispatch depth
+	SpanLines int   // per-tenant span size in cache lines
+	Poll      int64 // worker idle poll interval, cycles
+	Quantum   int64 // dispatcher drive period, cycles
+
+	Discipline string // fifo | edf
+	Policy     string // static | locality | least-load
+
+	Classes []Class
+}
+
+// DefaultSpec is the canonical scenario: a moderate open-loop mix of
+// latency-sensitive interactive requests and heavy batch requests. The
+// empty spec string parses to exactly this.
+const DefaultSpec = "open=2,duration=100000,procs=16,tenants=4,class=interactive:4:16:40:25:6000,class=batch:1:96:100:50:0"
+
+func defaults() Spec {
+	return Spec{
+		Procs:      16,
+		Tenants:    4,
+		QueueCap:   64,
+		Depth:      2,
+		SpanLines:  2048,
+		Poll:       200,
+		Quantum:    100,
+		Discipline: "fifo",
+		Policy:     "static",
+	}
+}
+
+// defaultClasses is applied when the spec names none.
+func defaultClasses() []Class {
+	return []Class{
+		{Name: "interactive", Weight: 4, Touches: 16, Think: 40, WritePct: 25, Deadline: 6000},
+		{Name: "batch", Weight: 1, Touches: 96, Think: 100, WritePct: 50, Deadline: 0},
+	}
+}
+
+// ParseSpec parses the -serve-spec flag syntax: a comma-separated list of
+// key=value clauses.
+//
+//	open=R            open loop, mean R arrivals per 1000 cycles
+//	closed=C          closed loop, C requests always in flight
+//	duration=N        open-loop arrival window, cycles
+//	requests=N        total requests (cap; required for closed loop)
+//	procs=P           worker CPUs
+//	tenants=T         tenants (own queue + own span each)
+//	qcap=N            per-tenant queue capacity
+//	depth=N           per-worker outstanding dispatch depth
+//	span=N            per-tenant span, cache lines
+//	poll=N            worker idle poll interval, cycles
+//	quantum=N         dispatcher drive period, cycles
+//	discipline=D      fifo | edf
+//	policy=P          static | locality | least-load
+//	class=NAME:W:T:K:PCT:DL
+//	                  request class: weight W, T line touches, K think
+//	                  cycles per touch, PCT percent writes, deadline DL
+//	                  cycles (0 = no SLA); repeatable, replaces defaults
+//
+// The empty string parses to DefaultSpec.
+func ParseSpec(s string) (Spec, error) {
+	if s == "" {
+		s = DefaultSpec
+	}
+	sp := defaults()
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(clause, "=")
+		if !ok {
+			return Spec{}, fmt.Errorf("serve: clause %q is not key=value", clause)
+		}
+		var err error
+		switch key {
+		case "open":
+			sp.OpenRate, err = parseCount(val)
+		case "closed":
+			sp.Closed, err = parseCount(val)
+		case "duration":
+			sp.Duration, err = parseCycles(val)
+		case "requests":
+			sp.Requests, err = parseCount(val)
+		case "procs":
+			sp.Procs, err = parseCount(val)
+		case "tenants":
+			sp.Tenants, err = parseCount(val)
+		case "qcap":
+			sp.QueueCap, err = parseCount(val)
+		case "depth":
+			sp.Depth, err = parseCount(val)
+		case "span":
+			sp.SpanLines, err = parseCount(val)
+		case "poll":
+			sp.Poll, err = parseCycles(val)
+		case "quantum":
+			sp.Quantum, err = parseCycles(val)
+		case "discipline":
+			switch val {
+			case "fifo", "edf":
+				sp.Discipline = val
+			default:
+				err = fmt.Errorf("unknown discipline %q (have fifo, edf)", val)
+			}
+		case "policy":
+			switch val {
+			case "static", "locality", "least-load":
+				sp.Policy = val
+			default:
+				err = fmt.Errorf("unknown policy %q (have static, locality, least-load)", val)
+			}
+		case "class":
+			var c Class
+			c, err = parseClass(val)
+			sp.Classes = append(sp.Classes, c)
+		default:
+			err = fmt.Errorf("unknown key %q", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("serve: clause %q: %w", clause, err)
+		}
+	}
+	if len(sp.Classes) == 0 {
+		sp.Classes = defaultClasses()
+	}
+	if err := sp.validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+func (sp Spec) validate() error {
+	switch {
+	case sp.OpenRate > 0 && sp.Closed > 0:
+		return fmt.Errorf("serve: open=%d and closed=%d are mutually exclusive", sp.OpenRate, sp.Closed)
+	case sp.OpenRate == 0 && sp.Closed == 0:
+		return fmt.Errorf("serve: one of open= or closed= is required")
+	case sp.OpenRate > 0 && sp.Duration == 0 && sp.Requests == 0:
+		return fmt.Errorf("serve: open loop needs duration= or requests=")
+	case sp.Closed > 0 && sp.Requests == 0:
+		return fmt.Errorf("serve: closed loop needs requests=")
+	}
+	seen := map[string]bool{}
+	for _, c := range sp.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("serve: class with empty name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("serve: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return nil
+}
+
+func parseClass(s string) (Class, error) {
+	f := strings.Split(s, ":")
+	if len(f) != 6 {
+		return Class{}, fmt.Errorf("class %q is not NAME:WEIGHT:TOUCHES:THINK:WRITEPCT:DEADLINE", s)
+	}
+	c := Class{Name: f[0]}
+	var err error
+	if c.Weight, err = parseCount(f[1]); err != nil {
+		return Class{}, fmt.Errorf("weight: %w", err)
+	}
+	if c.Touches, err = parseCount(f[2]); err != nil {
+		return Class{}, fmt.Errorf("touches: %w", err)
+	}
+	if c.Think, err = parseNonNeg(f[3]); err != nil {
+		return Class{}, fmt.Errorf("think: %w", err)
+	}
+	pct, err := parseNonNeg(f[4])
+	if err != nil || pct > 100 {
+		return Class{}, fmt.Errorf("writepct %q outside [0,100]", f[4])
+	}
+	c.WritePct = int(pct)
+	if c.Deadline, err = parseNonNeg(f[5]); err != nil {
+		return Class{}, fmt.Errorf("deadline: %w", err)
+	}
+	return c, nil
+}
+
+func parseCount(s string) (int, error) {
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("value %d not positive", n)
+	}
+	return n, nil
+}
+
+func parseCycles(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("value %d not positive", n)
+	}
+	return n, nil
+}
+
+func parseNonNeg(s string) (int64, error) {
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("value %d negative", n)
+	}
+	return n, nil
+}

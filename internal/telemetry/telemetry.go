@@ -156,7 +156,28 @@ func (s *Server) serveHTML(w http.ResponseWriter, r *http.Request) {
 		snap.Results.NC.Requests, snap.Results.Mem.Transactions,
 		snap.Results.Proc.NAKRetries, snap.Results.Proc.RetryStreaks,
 		snap.Results.Fault.Drops, snap.Results.Fault.Dups,
-		snap.Results.Fault.TimeoutReissues)
+		snap.Results.Fault.TimeoutReissues,
+		serveRows(snap.Results.Serve))
+}
+
+// serveRows renders the serving-layer table rows, empty when the run has
+// no serving layer attached.
+func serveRows(sv *core.ServeResults) string {
+	if sv == nil {
+		return ""
+	}
+	t := &sv.Total
+	return fmt.Sprintf(`<tr><td>serve policy / discipline</td><td>%s / %s</td></tr>
+<tr><td>serve requests</td><td>%d arrived, %d done, %d dropped</td></tr>
+<tr><td>serve throughput</td><td>%.3f req/kcycle</td></tr>
+<tr><td>serve latency p50/p95/p99</td><td>%d / %d / %d cycles</td></tr>
+<tr><td>serve SLA violations</td><td>%.1f%%</td></tr>
+`,
+		sv.Policy, sv.Discipline,
+		t.Arrived, t.Completed, t.Dropped,
+		sv.Throughput(),
+		t.Latency.Percentile(0.50), t.Latency.Percentile(0.95), t.Latency.Percentile(0.99),
+		100*t.ViolationRate())
 }
 
 // htmlPage self-refreshes so a browser left open follows the run live.
@@ -181,7 +202,7 @@ const htmlPage = `<!DOCTYPE html>
 <tr><td>NAK retries</td><td>%d (%d refs retried)</td></tr>
 <tr><td>fault drops / dups</td><td>%d / %d</td></tr>
 <tr><td>timeout re-issues</td><td>%d</td></tr>
-</table>
+%s</table>
 <p><a href="/metrics.json">metrics.json</a></p>
 </body></html>
 `

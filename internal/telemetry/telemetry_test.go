@@ -118,6 +118,35 @@ func TestHTMLView(t *testing.T) {
 	}
 }
 
+// TestHTMLServeRows checks the serving-layer rows appear exactly when a
+// run has a serving report attached.
+func TestHTMLServeRows(t *testing.T) {
+	srv := NewServer()
+	snap := &Snapshot{Workload: "serve", Cycle: 99}
+	snap.Results.Serve = &core.ServeResults{
+		Policy: "locality", Discipline: "edf", Cycles: 1000,
+	}
+	snap.Results.Serve.Total.Arrived = 42
+	snap.Results.Serve.Total.Completed = 40
+	srv.Publish(snap)
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"locality / edf", "42 arrived, 40 done", "serve throughput"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("HTML view missing %q:\n%s", want, body)
+		}
+	}
+
+	srv.Publish(&Snapshot{Workload: "radix"})
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if strings.Contains(rec.Body.String(), "serve throughput") {
+		t.Error("serve rows rendered for a run without a serving layer")
+	}
+}
+
 // TestStartClose exercises the real listener path with an ephemeral
 // port.
 func TestStartClose(t *testing.T) {
