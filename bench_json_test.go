@@ -85,16 +85,37 @@ type benchServeEntry struct {
 	ThroughputPerKCyc float64 `json:"throughput_per_kcycle"`
 }
 
-// benchFile is the BENCH_6.json schema. The serve section is optional so
-// older manifests stay valid; benchguard compares it only when both
+// benchResilienceEntry is the serving-resilience goodput row: the
+// canonical chaos scenario (deadline kills, retries, hedging, breaker
+// and shedding live under a degrade/freeze fault schedule), recording
+// SLA-met completions per kilocycle. Everything but wall_ns is in
+// simulated time and therefore deterministic across hosts.
+type benchResilienceEntry struct {
+	Spec           string  `json:"spec"`
+	FaultSpec      string  `json:"fault_spec"`
+	Seed           uint64  `json:"seed"`
+	FaultSeed      uint64  `json:"fault_seed"`
+	Arrived        int64   `json:"arrived"`
+	Goodput        int64   `json:"goodput"` // completions that met their SLA
+	Timeouts       int64   `json:"timeouts"`
+	Retries        int64   `json:"retries"`
+	Shed           int64   `json:"shed"`
+	SimCycles      int64   `json:"sim_cycles"`
+	WallNS         int64   `json:"wall_ns"`
+	GoodputPerKCyc float64 `json:"goodput_per_kcycle"`
+}
+
+// benchFile is the BENCH_6.json schema. The serve sections are optional
+// so older manifests stay valid; benchguard compares them only when both
 // sides carry one.
 type benchFile struct {
-	Schema     string           `json:"schema"`
-	Loop       string           `json:"loop"` // loop of the workloads section
-	GoMaxProcs int              `json:"go_max_procs"`
-	Workloads  []benchEntry     `json:"workloads"`
-	CycleLoops []benchLoopEntry `json:"cycle_loops"`
-	Serve      *benchServeEntry `json:"serve,omitempty"`
+	Schema          string                `json:"schema"`
+	Loop            string                `json:"loop"` // loop of the workloads section
+	GoMaxProcs      int                   `json:"go_max_procs"`
+	Workloads       []benchEntry          `json:"workloads"`
+	CycleLoops      []benchLoopEntry      `json:"cycle_loops"`
+	Serve           *benchServeEntry      `json:"serve,omitempty"`
+	ServeResilience *benchResilienceEntry `json:"serve_resilience,omitempty"`
 }
 
 // benchServeSpec is the canonical saturation scenario: a closed loop deep
@@ -133,6 +154,64 @@ func measureServe(t *testing.T) benchServeEntry {
 		SimCycles:         sv.Cycles,
 		WallNS:            wall.Nanoseconds(),
 		ThroughputPerKCyc: sv.Throughput(),
+	}
+}
+
+// benchResilienceSpec is the canonical chaos scenario: the closed-loop
+// mix from the serve chaos soak with every resilience mechanism enabled,
+// run under a degrade/freeze fault schedule. Goodput per kilocycle is
+// the soft-gated metric: SLA-met completions per unit of simulated time.
+const (
+	benchResilienceSpec = "closed=8,requests=240,procs=8,tenants=4,span=512,qcap=12," +
+		"discipline=edf,policy=least-load," +
+		"class=urgent:2:6:10:25:6000,class=interactive:3:12:20:25:15000,class=batch:1:48:60:50:0," +
+		"kill=2,retries=2,backoff=200:1600,retry-budget=48,hedge=1500,breaker=180:2500,shed=on"
+	benchResilienceFaults    = "freeze-mem=3000:500,degrade-ring=5000:300,timeout=1500"
+	benchResilienceFaultSeed = 21
+)
+
+// measureResilience runs the canonical chaos scenario once.
+func measureResilience(t *testing.T) benchResilienceEntry {
+	t.Helper()
+	sp, err := serve.ParseSpec(benchResilienceSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := benchConfig()
+	cfg.FaultSpec = benchResilienceFaults
+	cfg.FaultSeed = benchResilienceFaultSeed
+	cfg.Params.RetryBackoff = true
+	cfg.Params.RetryJitterSeed = benchResilienceFaultSeed
+	m, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := serve.New(m, sp, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	ctl.Run()
+	wall := time.Since(start)
+	sv := m.Results().Serve
+	tot := sv.Total
+	if tot.Arrived != tot.Completed+tot.Dropped+tot.Failed+tot.Shed {
+		t.Fatalf("resilience scenario leaked requests: arrived=%d completed=%d dropped=%d failed=%d shed=%d",
+			tot.Arrived, tot.Completed, tot.Dropped, tot.Failed, tot.Shed)
+	}
+	return benchResilienceEntry{
+		Spec:           sv.Spec,
+		FaultSpec:      benchResilienceFaults,
+		Seed:           sv.Seed,
+		FaultSeed:      benchResilienceFaultSeed,
+		Arrived:        tot.Arrived,
+		Goodput:        tot.Goodput(),
+		Timeouts:       tot.Timeouts,
+		Retries:        tot.Retries,
+		Shed:           tot.Shed,
+		SimCycles:      sv.Cycles,
+		WallNS:         wall.Nanoseconds(),
+		GoodputPerKCyc: sv.GoodputPerKCycle(),
 	}
 }
 
@@ -282,6 +361,10 @@ func TestBenchJSON(t *testing.T) {
 	file.Serve = &sv
 	t.Logf("serve      requests=%d cycles=%d throughput=%.3f req/kcycle",
 		sv.Requests, sv.SimCycles, sv.ThroughputPerKCyc)
+	rz := measureResilience(t)
+	file.ServeResilience = &rz
+	t.Logf("resilience arrived=%d goodput=%d (%.3f/kcycle) timeouts=%d retries=%d shed=%d",
+		rz.Arrived, rz.Goodput, rz.GoodputPerKCyc, rz.Timeouts, rz.Retries, rz.Shed)
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		t.Fatal(err)

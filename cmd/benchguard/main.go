@@ -75,13 +75,29 @@ type serveEntry struct {
 	ThroughputPerKCyc float64 `json:"throughput_per_kcycle"`
 }
 
+type resilienceEntry struct {
+	Spec           string  `json:"spec"`
+	FaultSpec      string  `json:"fault_spec"`
+	Seed           uint64  `json:"seed"`
+	FaultSeed      uint64  `json:"fault_seed"`
+	Arrived        int64   `json:"arrived"`
+	Goodput        int64   `json:"goodput"`
+	Timeouts       int64   `json:"timeouts"`
+	Retries        int64   `json:"retries"`
+	Shed           int64   `json:"shed"`
+	SimCycles      int64   `json:"sim_cycles"`
+	WallNS         int64   `json:"wall_ns"`
+	GoodputPerKCyc float64 `json:"goodput_per_kcycle"`
+}
+
 type manifest struct {
-	Schema     string      `json:"schema"`
-	Loop       string      `json:"loop"`
-	GoMaxProcs int         `json:"go_max_procs"`
-	Workloads  []entry     `json:"workloads"`
-	CycleLoops []loopEntry `json:"cycle_loops"`
-	Serve      *serveEntry `json:"serve,omitempty"`
+	Schema          string           `json:"schema"`
+	Loop            string           `json:"loop"`
+	GoMaxProcs      int              `json:"go_max_procs"`
+	Workloads       []entry          `json:"workloads"`
+	CycleLoops      []loopEntry      `json:"cycle_loops"`
+	Serve           *serveEntry      `json:"serve,omitempty"`
+	ServeResilience *resilienceEntry `json:"serve_resilience,omitempty"`
 }
 
 func load(path string) (*manifest, error) {
@@ -221,6 +237,28 @@ func main() {
 			}
 			fmt.Printf("%-24s serve %9.3f -> %9.3f req/kcycle (%+6.1f%%)  %s\n",
 				"serve", b.ThroughputPerKCyc, c.ThroughputPerKCyc, 100*delta, status)
+		}
+	}
+	// Serving-resilience goodput under the canonical chaos schedule:
+	// SLA-met completions per kilocycle of simulated time, deterministic
+	// across hosts. Soft gate like the serve row — the metric moves with
+	// intentional scheduling and resilience-policy changes, not only
+	// regressions — and skipped unless both manifests measured the exact
+	// same scenario (spec, fault schedule and both seeds).
+	if b, c := base.ServeResilience, cur.ServeResilience; b != nil && c != nil {
+		if b.Spec != c.Spec || b.FaultSpec != c.FaultSpec || b.Seed != c.Seed || b.FaultSeed != c.FaultSeed {
+			fmt.Printf("%-24s scenario changed; skipping resilience check\n", "serve_resilience")
+		} else {
+			compared++
+			status := "ok"
+			delta := c.GoodputPerKCyc/b.GoodputPerKCyc - 1
+			if delta < -*threshold {
+				status = "REGRESSED"
+				regressed++
+			}
+			fmt.Printf("%-24s goodput %7.3f -> %7.3f req/kcycle (%+6.1f%%)  timeouts %d->%d retries %d->%d shed %d->%d  %s\n",
+				"serve_resilience", b.GoodputPerKCyc, c.GoodputPerKCyc, 100*delta,
+				b.Timeouts, c.Timeouts, b.Retries, c.Retries, b.Shed, c.Shed, status)
 		}
 	}
 	if compared == 0 {

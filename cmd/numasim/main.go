@@ -10,6 +10,8 @@
 //	numasim -workload radix -procs 64 -http :8080      # live metrics
 //	numasim -workload fft -procs 8 -fault-spec 'drop=1e-3' -fault-seed 7
 //	numasim -serve -serve-spec 'open=2,duration=100000,procs=16' -serve-seed 7
+//	numasim -serve -fault-spec 'freeze-mem=4000:600,drop=0.02,timeout=1500' \
+//	        -serve-spec 'open=2,duration=100000,kill=4,retries=2,shed=on'   # resilience under faults
 //	numasim -list
 package main
 
@@ -47,7 +49,7 @@ func main() {
 		list     = flag.Bool("list", false, "list available workloads and exit")
 
 		serveOn   = flag.Bool("serve", false, "run the multi-tenant serving layer instead of a workload")
-		serveSpec = flag.String("serve-spec", "", "serving scenario, e.g. 'open=2,duration=100000,policy=locality' (empty = built-in default)")
+		serveSpec = flag.String("serve-spec", "", "serving scenario, e.g. 'open=2,duration=100000,policy=locality' plus resilience clauses kill=/retries=/backoff=/retry-budget=/hedge=/breaker=/shed= (empty = built-in default)")
 		serveSeed = flag.Uint64("serve-seed", 1, "seed for the serving load generator (same spec+seed = same report)")
 
 		faultSpec = flag.String("fault-spec", "", "fault schedule, e.g. 'drop=2e-4,dup=1e-4,freeze-mem=50000:400,degrade-ring=20000:300' (empty = fault-free)")

@@ -41,10 +41,23 @@ type ServeGroup struct {
 	Completed  int64
 	Violations int64 // completed after their SLA deadline
 
+	// Resilience counters; all zero (and omitted from JSON) unless the
+	// spec enables the corresponding mechanism.
+	Timeouts  int64 `json:",omitempty"` // attempts killed at a Sync point past their deadline
+	Retries   int64 `json:",omitempty"` // re-issues after a deadline kill
+	Failed    int64 `json:",omitempty"` // jobs abandoned after exhausting retries/budget
+	Hedges    int64 `json:",omitempty"` // hedged second copies issued
+	HedgeWins int64 `json:",omitempty"` // completions won by the hedged copy
+	Shed      int64 `json:",omitempty"` // dropped at admission as already doomed
+
 	Queued  hist.Hist // admission to dispatch
 	Service hist.Hist // dispatch to completion
 	Latency hist.Hist // arrival to completion (the user-visible number)
 }
+
+// Goodput is the count of completions that met their SLA deadline — the
+// serving-quality numerator (completions minus violations).
+func (g *ServeGroup) Goodput() int64 { return g.Completed - g.Violations }
 
 // ViolationRate is the fraction of completed requests that missed their
 // SLA deadline.
@@ -75,6 +88,17 @@ type ServeResults struct {
 	Total   ServeGroup
 	Classes []ServeGroup
 	Tenants []ServeGroup
+
+	// Resilience is present only when the spec enables any resilience
+	// mechanism (kill/retry/hedge/breaker/shed), so zero-resilience JSON
+	// stays bit-identical to the pre-resilience schema.
+	Resilience *ServeResilience `json:",omitempty"`
+}
+
+// ServeResilience summarizes the run-wide resilience machinery that has
+// no per-group breakdown.
+type ServeResilience struct {
+	Ejections int64 // circuit-breaker station ejections over the run
 }
 
 // Throughput is the saturation metric: completed requests per kilocycle
@@ -84,6 +108,15 @@ func (s *ServeResults) Throughput() float64 {
 		return 0
 	}
 	return float64(s.Total.Completed) * 1000 / float64(s.Cycles)
+}
+
+// GoodputPerKCycle is SLA-met completions per kilocycle — the serving
+// window's quality-weighted throughput.
+func (s *ServeResults) GoodputPerKCycle() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Total.Goodput()) * 1000 / float64(s.Cycles)
 }
 
 // FaultResults aggregates the fault injector's observable effects; all

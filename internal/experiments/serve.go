@@ -62,6 +62,105 @@ func SweepServe(cfg core.Config, base string, seed uint64, policies, disciplines
 	return pts, nil
 }
 
+// FaultSchedule names one injected-fault scenario for the resilience
+// sweep.
+type FaultSchedule struct {
+	Name string // row label
+	Spec string // internal/fault schedule (empty = fault-free)
+}
+
+// ResiliencePoint is one (fault schedule, policy, discipline, arm) cell
+// of the resilience sweep; the baseline arm runs the bare spec, the
+// resilient arm appends the resilience clauses.
+type ResiliencePoint struct {
+	Fault      string
+	Policy     string
+	Discipline string
+	Resilient  bool
+	Report     *core.ServeResults
+}
+
+// SweepResilience crosses fault schedules with placement policies and
+// queue disciplines, running each coordinate twice — without and with the
+// resilience clauses — so every row pairs a no-resilience baseline with
+// its resilient counterpart under identical faults. Deterministic and
+// byte-identical for any worker count, like SweepServe.
+func SweepResilience(cfg core.Config, base, resilience string, seed, faultSeed uint64,
+	faults []FaultSchedule, policies, disciplines []string, workers int) ([]ResiliencePoint, error) {
+	if base == "" {
+		base = serve.DefaultSpec
+	}
+	var pts []ResiliencePoint
+	for _, fs := range faults {
+		for _, pol := range policies {
+			for _, dis := range disciplines {
+				for _, arm := range []bool{false, true} {
+					pts = append(pts, ResiliencePoint{Fault: fs.Name, Policy: pol, Discipline: dis, Resilient: arm})
+				}
+			}
+		}
+	}
+	specOf := make(map[string]string, len(faults))
+	for _, fs := range faults {
+		specOf[fs.Name] = fs.Spec
+	}
+	out, err := parMap(workers, len(pts), func(i int) (*core.ServeResults, error) {
+		pt := pts[i]
+		spec := fmt.Sprintf("%s,policy=%s,discipline=%s", base, pt.Policy, pt.Discipline)
+		if pt.Resilient {
+			spec += "," + resilience
+		}
+		sp, err := serve.ParseSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		pcfg := cfg
+		pcfg.FaultSpec = specOf[pt.Fault]
+		pcfg.FaultSeed = faultSeed
+		if pcfg.FaultSpec != "" {
+			pcfg.Params.RetryBackoff = true
+			pcfg.Params.RetryJitterSeed = faultSeed
+		}
+		m, err := core.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := serve.New(m, sp, seed)
+		if err != nil {
+			return nil, err
+		}
+		ctl.Run()
+		return m.Results().Serve, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range pts {
+		pts[i].Report = out[i]
+	}
+	return pts, nil
+}
+
+// PrintResilienceSweep renders the resilience sweep: each coordinate's
+// baseline and resilient arms side by side, goodput being the number that
+// should move.
+func PrintResilienceSweep(w io.Writer, pts []ResiliencePoint) {
+	fmt.Fprintf(w, "%-18s %-12s %-6s %-9s %8s %8s %8s %7s %7s %7s %10s %7s\n",
+		"fault", "policy", "disc", "arm", "arrived", "done", "timeout", "retry", "shed", "failed", "good/kcyc", "viol%")
+	for _, pt := range pts {
+		r := pt.Report
+		t := &r.Total
+		arm := "baseline"
+		if pt.Resilient {
+			arm = "resilient"
+		}
+		fmt.Fprintf(w, "%-18s %-12s %-6s %-9s %8d %8d %8d %7d %7d %7d %10.3f %6.1f%%\n",
+			pt.Fault, pt.Policy, pt.Discipline, arm, t.Arrived, t.Completed,
+			t.Timeouts, t.Retries, t.Shed, t.Failed,
+			r.GoodputPerKCycle(), 100*t.ViolationRate())
+	}
+}
+
 // PrintServeSweep renders the sweep as one row per coordinate: offered
 // load vs. achieved throughput, tail latency and SLA outcomes under each
 // placement policy and queue discipline.

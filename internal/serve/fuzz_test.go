@@ -20,6 +20,18 @@ func FuzzParseServeSpec(f *testing.F) {
 	f.Add("open=1,closed=1,requests=3")
 	f.Add("class=x:1:1")
 	f.Add("policy=nope")
+	// Resilience grammar seeds: every clause, defaults, and the
+	// dependency/range violations validate must reject.
+	f.Add("open=1,duration=1000,kill=4,retries=2,backoff=100:800,retry-budget=8,hedge=500,breaker=150:2000,shed=on")
+	f.Add("closed=2,requests=8,kill=1,retries=1") // backoff defaulted
+	f.Add("open=1,duration=100,kill=2,hedge=7")
+	f.Add("open=1,duration=100,retries=2")        // needs kill=
+	f.Add("open=1,duration=100,kill=2,retries=1,backoff=5:1")
+	f.Add("open=1,duration=100,retry-budget=3")   // needs retries=
+	f.Add("open=1,duration=100,hedge=9")          // needs kill=
+	f.Add("open=1,duration=100,breaker=50:10")    // threshold below 100%
+	f.Add("open=1,duration=100,breaker=200")      // missing cooldown
+	f.Add("open=1,duration=100,shed=off")
 	f.Fuzz(func(t *testing.T, s string) {
 		sp, err := ParseSpec(s)
 		if err != nil {
@@ -40,6 +52,25 @@ func FuzzParseServeSpec(f *testing.F) {
 				c.WritePct < 0 || c.WritePct > 100 || c.Deadline < 0 {
 				t.Fatalf("accepted unusable class %+v", c)
 			}
+		}
+		// Resilience invariants: clause dependencies and ranges that the
+		// controller relies on without re-checking.
+		if sp.KillEvery < 0 || sp.Retries < 0 || sp.RetryBudget < 0 ||
+			sp.RetryBase < 0 || sp.RetryMax < 0 || sp.Hedge < 0 ||
+			sp.BreakerPct < 0 || sp.BreakerCool < 0 {
+			t.Fatalf("accepted spec with negative resilience knob: %+v", sp)
+		}
+		if sp.Retries > 0 && (sp.KillEvery == 0 || sp.RetryBase <= 0 || sp.RetryMax < sp.RetryBase) {
+			t.Fatalf("accepted retries without kill/backoff support: %+v", sp)
+		}
+		if sp.RetryBudget > 0 && sp.Retries == 0 {
+			t.Fatalf("accepted retry budget without retries: %+v", sp)
+		}
+		if sp.Hedge > 0 && sp.KillEvery == 0 {
+			t.Fatalf("accepted hedge without kill: %+v", sp)
+		}
+		if sp.BreakerPct > 0 && (sp.BreakerPct < 100 || sp.BreakerCool <= 0) {
+			t.Fatalf("accepted unusable breaker: %+v", sp)
 		}
 		canon := sp.String()
 		again, err := ParseSpec(canon)

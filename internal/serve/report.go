@@ -25,6 +25,9 @@ func (ctl *Controller) Report() *core.ServeResults {
 	if ctl.start >= 0 && ctl.lastDone > ctl.start {
 		r.Cycles = ctl.lastDone - ctl.start
 	}
+	if ctl.resilient {
+		r.Resilience = &core.ServeResilience{Ejections: ctl.ejections}
+	}
 	return r
 }
 
@@ -59,6 +62,27 @@ func (sp Spec) String() string {
 	add("quantum=%d", sp.Quantum)
 	add("discipline=%s", sp.Discipline)
 	add("policy=%s", sp.Policy)
+	// Resilience clauses render only when set, so pre-resilience specs
+	// keep their exact historical canonical form.
+	if sp.KillEvery > 0 {
+		add("kill=%d", sp.KillEvery)
+	}
+	if sp.Retries > 0 {
+		add("retries=%d", sp.Retries)
+		add("backoff=%d:%d", sp.RetryBase, sp.RetryMax)
+	}
+	if sp.RetryBudget > 0 {
+		add("retry-budget=%d", sp.RetryBudget)
+	}
+	if sp.Hedge > 0 {
+		add("hedge=%d", sp.Hedge)
+	}
+	if sp.BreakerPct > 0 {
+		add("breaker=%d:%d", sp.BreakerPct, sp.BreakerCool)
+	}
+	if sp.Shed {
+		add("shed=on")
+	}
 	for _, c := range sp.Classes {
 		add("class=%s:%d:%d:%d:%d:%d", c.Name, c.Weight, c.Touches, c.Think, c.WritePct, c.Deadline)
 	}
@@ -67,13 +91,24 @@ func (sp Spec) String() string {
 
 // WriteReport renders the human-readable serving report. The output is a
 // deterministic function of r alone — the equivalence tests compare
-// these bytes across cycle loops.
+// these bytes across cycle loops. The resilience lines appear only when
+// the run carried a resilience section, so zero-resilience reports keep
+// their exact historical bytes.
 func WriteReport(w io.Writer, r *core.ServeResults) {
 	fmt.Fprintf(w, "serve            policy=%s discipline=%s seed=%d\n", r.Policy, r.Discipline, r.Seed)
 	fmt.Fprintf(w, "window           %d cycles, %d arrived, %d completed, %d dropped, throughput %.3f req/kcycle\n",
 		r.Cycles, r.Total.Arrived, r.Total.Completed, r.Total.Dropped, r.Throughput())
+	if r.Resilience != nil {
+		t := &r.Total
+		fmt.Fprintf(w, "resilience       %d timeouts, %d retries, %d failed, %d hedges (%d wins), %d shed, %d ejections, goodput %.3f req/kcycle\n",
+			t.Timeouts, t.Retries, t.Failed, t.Hedges, t.HedgeWins, t.Shed, r.Resilience.Ejections, r.GoodputPerKCycle())
+	}
 	writeGroups(w, "class", r.Classes)
 	writeGroups(w, "tenant", r.Tenants)
+	if r.Resilience != nil {
+		writeResilienceGroups(w, "class", r.Classes)
+		writeResilienceGroups(w, "tenant", r.Tenants)
+	}
 }
 
 func writeGroups(w io.Writer, kind string, groups []core.ServeGroup) {
@@ -85,6 +120,18 @@ func writeGroups(w io.Writer, kind string, groups []core.ServeGroup) {
 			g.Name, g.Arrived, g.Completed, g.Dropped, 100*g.ViolationRate(),
 			g.Queued.Percentile(0.95), pct(&g.Latency, 0.50), pct(&g.Latency, 0.95),
 			pct(&g.Latency, 0.99), g.Latency.Max())
+	}
+}
+
+// writeResilienceGroups renders the per-group resilience counters; only
+// emitted for runs with a resilience section.
+func writeResilienceGroups(w io.Writer, kind string, groups []core.ServeGroup) {
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %8s %8s %8s\n",
+		kind, "timeout", "retry", "failed", "hedge", "wins", "shed", "goodput")
+	for i := range groups {
+		g := &groups[i]
+		fmt.Fprintf(w, "  %-14s %8d %8d %8d %8d %8d %8d %8d\n",
+			g.Name, g.Timeouts, g.Retries, g.Failed, g.Hedges, g.HedgeWins, g.Shed, g.Goodput())
 	}
 }
 

@@ -197,7 +197,7 @@ func TestDisciplineFIFO(t *testing.T) {
 	enqueue(ctl, 0, 5, 100)
 	enqueue(ctl, 1, 3, 900) // older, later deadline
 	enqueue(ctl, 1, 7, 10)
-	tenant, idx := ctl.pick()
+	tenant, idx := ctl.pick(0)
 	if tenant != 1 || idx != 0 {
 		t.Errorf("FIFO picked tenant=%d idx=%d, want the oldest head (tenant=1 idx=0)", tenant, idx)
 	}
@@ -209,14 +209,14 @@ func TestDisciplineEDF(t *testing.T) {
 	ctl.queues[0][0].deadline = maxInt64
 	enqueue(ctl, 1, 3, 900)
 	enqueue(ctl, 1, 7, 10) // newest but tightest deadline, mid-queue
-	tenant, idx := ctl.pick()
+	tenant, idx := ctl.pick(0)
 	if tenant != 1 || idx != 1 {
 		t.Errorf("EDF picked tenant=%d idx=%d, want the tightest deadline (tenant=1 idx=1)", tenant, idx)
 	}
 	// Remove it; next pick is the 900-deadline request, then the free one.
 	ctl.queues[1] = ctl.queues[1][:1]
 	ctl.queued--
-	if tenant, idx = ctl.pick(); tenant != 1 || idx != 0 {
+	if tenant, idx = ctl.pick(0); tenant != 1 || idx != 0 {
 		t.Errorf("EDF second pick tenant=%d idx=%d, want tenant=1 idx=0", tenant, idx)
 	}
 }
@@ -228,14 +228,14 @@ func TestPlacementStatic(t *testing.T) {
 	r := &request{}
 	var got []int
 	for i := 0; i < 4; i++ {
-		w := ctl.place(r)
+		w := ctl.place(r, 0)
 		ctl.boxes[w].load++
 		got = append(got, w)
 	}
 	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(got, want) {
 		t.Errorf("static placement order %v, want %v", got, want)
 	}
-	if w := ctl.place(r); w != -1 {
+	if w := ctl.place(r, 0); w != -1 {
 		t.Errorf("all workers at depth, place returned %d, want -1", w)
 	}
 }
@@ -245,13 +245,13 @@ func TestPlacementLocality(t *testing.T) {
 	// Tenants home round-robin over occupied stations: tenant1 -> station 1.
 	ctl := newIdleController(t, "closed=1,requests=1,procs=4,tenants=2,policy=locality,depth=2")
 	r := &request{tenant: 1}
-	if w := ctl.place(r); w != 2 {
+	if w := ctl.place(r, 0); w != 2 {
 		t.Errorf("locality placed tenant 1 on worker %d, want 2 (home station)", w)
 	}
 	// Saturate the home station: falls back to the least-loaded elsewhere.
 	ctl.boxes[2].load, ctl.boxes[3].load = 2, 2
 	ctl.boxes[0].load = 1
-	if w := ctl.place(r); w != 1 {
+	if w := ctl.place(r, 0); w != 1 {
 		t.Errorf("locality fallback placed on worker %d, want 1 (least-loaded off-home)", w)
 	}
 }
@@ -259,7 +259,7 @@ func TestPlacementLocality(t *testing.T) {
 func TestPlacementLeastLoad(t *testing.T) {
 	ctl := newIdleController(t, "closed=1,requests=1,procs=4,tenants=1,policy=least-load,depth=3")
 	ctl.boxes[0].load, ctl.boxes[1].load, ctl.boxes[2].load, ctl.boxes[3].load = 2, 1, 1, 3
-	if w := ctl.place(&request{}); w != 1 {
+	if w := ctl.place(&request{}, 0); w != 1 {
 		t.Errorf("least-load placed on worker %d, want 1 (min load, lowest index)", w)
 	}
 }

@@ -55,7 +55,27 @@ type Spec struct {
 	Discipline string // fifo | edf
 	Policy     string // static | locality | least-load
 
+	// Resilience knobs (all zero = off; the zero-resilience spec renders
+	// and behaves bit-identically to the pre-resilience serving layer).
+	KillEvery   int   // preemption check period, touches (0 = never kill)
+	Retries     int   // max re-issues per job after a deadline kill
+	RetryBase   int64 // backoff base delay, cycles (bounded exponential)
+	RetryMax    int64 // backoff cap, cycles
+	RetryBudget int   // per-tenant total retry budget (0 = unlimited)
+	Hedge       int64 // hedge delay, cycles (0 = no hedging)
+	BreakerPct  int   // breaker trip threshold, percent of fleet-mean health
+	BreakerCool int64 // breaker cooldown, cycles
+	Shed        bool  // deadline-aware admission shedding
+
 	Classes []Class
+}
+
+// resilient reports whether any resilience mechanism is enabled; when
+// false the controller runs the exact pre-resilience code paths (same
+// PRNG draws, same report bytes).
+func (sp Spec) resilient() bool {
+	return sp.KillEvery > 0 || sp.Retries > 0 || sp.Hedge > 0 ||
+		sp.BreakerPct > 0 || sp.Shed
 }
 
 // DefaultSpec is the canonical scenario: a moderate open-loop mix of
@@ -105,6 +125,23 @@ func defaultClasses() []Class {
 //	                  request class: weight W, T line touches, K think
 //	                  cycles per touch, PCT percent writes, deadline DL
 //	                  cycles (0 = no SLA); repeatable, replaces defaults
+//
+// Resilience clauses (all optional; absent = off):
+//
+//	kill=N            deadline preemption: check the deadline at a Sync
+//	                  every N touches and kill the request if passed
+//	retries=N         re-issue a killed job up to N times (requires kill=)
+//	backoff=B:M       retry backoff base B and cap M, cycles (bounded
+//	                  exponential; default 100:1600 when retries= is set)
+//	retry-budget=N    per-tenant total retry budget (requires retries=)
+//	hedge=D           re-issue a still-running request to a second station
+//	                  D(+jitter) cycles after dispatch; first completion
+//	                  wins, the loser is cancelled (requires kill=)
+//	breaker=P:C       circuit breaker: eject a station from placement for
+//	                  C cycles when its health score exceeds P percent of
+//	                  the fleet mean (P >= 100)
+//	shed=on           drop requests at admission when the deadline is
+//	                  already unreachable by the class's service estimate
 //
 // The empty string parses to DefaultSpec.
 func ParseSpec(s string) (Spec, error) {
@@ -159,6 +196,42 @@ func ParseSpec(s string) (Spec, error) {
 			default:
 				err = fmt.Errorf("unknown policy %q (have static, locality, least-load)", val)
 			}
+		case "kill":
+			sp.KillEvery, err = parseCount(val)
+		case "retries":
+			sp.Retries, err = parseCount(val)
+		case "backoff":
+			base, max, ok := strings.Cut(val, ":")
+			if !ok {
+				err = fmt.Errorf("backoff %q is not BASE:MAX", val)
+				break
+			}
+			if sp.RetryBase, err = parseCycles(base); err != nil {
+				break
+			}
+			sp.RetryMax, err = parseCycles(max)
+		case "retry-budget":
+			sp.RetryBudget, err = parseCount(val)
+		case "hedge":
+			sp.Hedge, err = parseCycles(val)
+		case "breaker":
+			pct, cool, ok := strings.Cut(val, ":")
+			if !ok {
+				err = fmt.Errorf("breaker %q is not PCT:COOLDOWN", val)
+				break
+			}
+			var p int
+			if p, err = parseCount(pct); err != nil {
+				break
+			}
+			sp.BreakerPct = p
+			sp.BreakerCool, err = parseCycles(cool)
+		case "shed":
+			if val != "on" {
+				err = fmt.Errorf("shed=%q (only shed=on)", val)
+				break
+			}
+			sp.Shed = true
 		case "class":
 			var c Class
 			c, err = parseClass(val)
@@ -172,6 +245,9 @@ func ParseSpec(s string) (Spec, error) {
 	}
 	if len(sp.Classes) == 0 {
 		sp.Classes = defaultClasses()
+	}
+	if sp.Retries > 0 && sp.RetryBase == 0 {
+		sp.RetryBase, sp.RetryMax = 100, 1600
 	}
 	if err := sp.validate(); err != nil {
 		return Spec{}, err
@@ -189,6 +265,20 @@ func (sp Spec) validate() error {
 		return fmt.Errorf("serve: open loop needs duration= or requests=")
 	case sp.Closed > 0 && sp.Requests == 0:
 		return fmt.Errorf("serve: closed loop needs requests=")
+	case sp.Retries > 0 && sp.KillEvery == 0:
+		return fmt.Errorf("serve: retries= needs kill= (a job only retries after a deadline kill)")
+	case sp.RetryBase > 0 && sp.Retries == 0:
+		return fmt.Errorf("serve: backoff= needs retries=")
+	case sp.RetryBase > 0 && sp.RetryMax < sp.RetryBase:
+		return fmt.Errorf("serve: backoff cap %d below base %d", sp.RetryMax, sp.RetryBase)
+	case sp.RetryBudget > 0 && sp.Retries == 0:
+		return fmt.Errorf("serve: retry-budget= needs retries=")
+	case sp.Hedge > 0 && sp.KillEvery == 0:
+		return fmt.Errorf("serve: hedge= needs kill= (loser cancellation preempts at Sync points)")
+	case sp.BreakerPct > 0 && sp.BreakerPct < 100:
+		return fmt.Errorf("serve: breaker threshold %d%% below 100%% of the fleet mean", sp.BreakerPct)
+	case sp.BreakerPct > 0 && sp.BreakerCool == 0:
+		return fmt.Errorf("serve: breaker= needs a positive cooldown")
 	}
 	seen := map[string]bool{}
 	for _, c := range sp.Classes {

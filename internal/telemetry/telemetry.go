@@ -167,7 +167,7 @@ func serveRows(sv *core.ServeResults) string {
 		return ""
 	}
 	t := &sv.Total
-	return fmt.Sprintf(`<tr><td>serve policy / discipline</td><td>%s / %s</td></tr>
+	rows := fmt.Sprintf(`<tr><td>serve policy / discipline</td><td>%s / %s</td></tr>
 <tr><td>serve requests</td><td>%d arrived, %d done, %d dropped</td></tr>
 <tr><td>serve throughput</td><td>%.3f req/kcycle</td></tr>
 <tr><td>serve latency p50/p95/p99</td><td>%d / %d / %d cycles</td></tr>
@@ -178,6 +178,18 @@ func serveRows(sv *core.ServeResults) string {
 		sv.Throughput(),
 		t.Latency.Percentile(0.50), t.Latency.Percentile(0.95), t.Latency.Percentile(0.99),
 		100*t.ViolationRate())
+	// Resilience rows appear only for runs carrying a resilience section,
+	// keeping zero-resilience pages unchanged.
+	if sv.Resilience != nil {
+		rows += fmt.Sprintf(`<tr><td>serve goodput</td><td>%.3f req/kcycle (%d SLA-met)</td></tr>
+<tr><td>serve resilience</td><td>%d timeouts, %d retries, %d failed, %d shed</td></tr>
+<tr><td>serve hedging / breaker</td><td>%d hedges (%d wins), %d ejections</td></tr>
+`,
+			sv.GoodputPerKCycle(), t.Goodput(),
+			t.Timeouts, t.Retries, t.Failed, t.Shed,
+			t.Hedges, t.HedgeWins, sv.Resilience.Ejections)
+	}
+	return rows
 }
 
 // htmlPage self-refreshes so a browser left open follows the run live.

@@ -53,6 +53,22 @@ type RequestShape struct {
 // RunRequest executes one request job: the memory-traversal loop every
 // admitted request runs on its assigned CPU.
 func RunRequest(c *proc.Ctx, sp Span, sh RequestShape) {
+	RunRequestPreempt(c, sp, sh, 0, nil)
+}
+
+// RunRequestPreempt is RunRequest with a preemption contract: when every
+// is positive, the traversal forces a Ctx.Sync handshake after each
+// `every` touches and calls stop with the pinned cycle; a true return
+// abandons the remaining touches immediately. It reports whether the
+// traversal ran to completion. With every <= 0 it performs the exact
+// reference sequence of RunRequest — no extra Syncs, no extra cycles —
+// so non-preemptible requests stay bit-identical to the historical path.
+//
+// The Sync is what makes kills deterministic: the stop predicate only
+// ever observes dispatcher state published at serial drive points at or
+// before the returned cycle, under every cycle loop and fast-hits
+// setting (the same alternation argument as the serving mailboxes).
+func RunRequestPreempt(c *proc.Ctx, sp Span, sh RequestShape, every int, stop func(now int64) bool) bool {
 	stride := sh.Stride
 	if stride < 1 {
 		stride = 1
@@ -71,5 +87,11 @@ func RunRequest(c *proc.Ctx, sp Span, sh RequestShape) {
 		if sh.Think > 0 {
 			c.Compute(sh.Think)
 		}
+		if every > 0 && (i+1)%every == 0 && i+1 < sh.Touches {
+			if stop(c.Sync()) {
+				return false
+			}
+		}
 	}
+	return true
 }
