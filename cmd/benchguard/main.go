@@ -21,7 +21,10 @@
 //     beating the serial scheduled loop by at least that factor. This is a
 //     property of the current run alone (no baseline row needed) and is
 //     also hard; CI sets it only on multi-core legs, where the sharded
-//     interconnect has cores to spread across.
+//     interconnect has cores to spread across. -warn-parallel-speedup sets
+//     an additional soft stretch target above the hard floor: rows below
+//     it are flagged but never fail, so the floor can be raised once the
+//     stretch target stops warning on real runners.
 package main
 
 import (
@@ -119,8 +122,13 @@ func key(name string, procs, size int) string {
 // allocsRegressed applies the hard allocation gate: the current count may
 // exceed the baseline by at most allocSlack fractionally plus a small
 // absolute floor (so near-zero baselines don't make the gate hair-trigger).
+// The floor was 0.05 when the pools still left per-transaction directory
+// state and multicast originals to the GC; with those recycled and the
+// free lists leveled, baselines sit at 0.02–0.44 and cross-GOMAXPROCS
+// measurement drift is under 3%, so 0.02 absolute + 10% fractional holds
+// comfortably while catching any single lost recycling path.
 func allocsRegressed(baseline, current, allocSlack float64) bool {
-	return current > baseline*(1+allocSlack)+0.05
+	return current > baseline*(1+allocSlack)+0.02
 }
 
 func main() {
@@ -129,6 +137,7 @@ func main() {
 	threshold := flag.Float64("threshold", 0.20, "max tolerated fractional refs/sec regression")
 	allocSlack := flag.Float64("alloc-slack", 0.10, "max tolerated fractional allocs/ref growth (hard gate)")
 	minParSpeedup := flag.Float64("min-parallel-speedup", 0, "if >0, require parallel/scheduled wall-clock speedup >= this on every cycle_loops row (hard gate)")
+	warnParSpeedup := flag.Float64("warn-parallel-speedup", 0, "if >0, warn (never fail) when a cycle_loops row's parallel speedup is below this — the stretch target that precedes raising -min-parallel-speedup")
 	soft := flag.Bool("soft", false, "report throughput regressions but exit 0 (alloc and speedup gates stay hard)")
 	flag.Parse()
 
@@ -162,8 +171,8 @@ func main() {
 		baseLoops[key(e.Name, e.Procs, e.Size)] = e
 	}
 
-	regressed := 0     // throughput (softenable)
-	hardFailed := 0    // allocations, parallel speedup (never softened)
+	regressed := 0  // throughput (softenable)
+	hardFailed := 0 // allocations, parallel speedup (never softened)
 	compared := 0
 	for _, c := range cur.Workloads {
 		k := key(c.Name, c.Procs, c.Size)
@@ -214,6 +223,8 @@ func main() {
 		if *minParSpeedup > 0 && c.ParallelSpeedup < *minParSpeedup {
 			status = "PARALLEL TOO SLOW"
 			hardFailed++
+		} else if *warnParSpeedup > 0 && c.ParallelSpeedup < *warnParSpeedup {
+			status = "below stretch target (warn only)"
 		}
 		fmt.Printf("%-24s loops: scheduled %6.0fms parallel %6.0fms speedup %.2fx  %s\n",
 			k, float64(c.Scheduled.WallNS)/1e6, float64(c.Parallel.WallNS)/1e6,

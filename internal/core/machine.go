@@ -131,6 +131,22 @@ type Machine struct {
 	runners []*proc.Runner
 	inj     *fault.Injector // nil in fault-free runs
 
+	// maskCache memoizes routing-mask expansions for any consumer that
+	// needs the full covered-station set (diagnostics, reports): each
+	// distinct mask is expanded once per machine instead of per call.
+	maskCache *topo.MaskCache
+
+	// msgPools/pktPools are every message and packet free list in the
+	// machine, collected once so rebalancePools can level them: structs
+	// are allocated by the sending side's pool but recycled into the pool
+	// where they die, so asymmetric traffic steadily drains some free
+	// lists while growing others. Leveling runs only at serial points
+	// (Load, and the Run loop every rebalanceEvery cycles after flushing
+	// any deferred central tick) and is invisible to simulated behaviour.
+	msgPools    []*msg.MessagePool
+	pktPools    []*msg.PacketPool
+	rebalanceAt int64
+
 	now      int64
 	heapNext uint64
 	pageHome map[uint64]int // FirstTouch assignments
@@ -159,11 +175,19 @@ type Machine struct {
 	stationCPUs     [][]*proc.CPU
 	inParallelPhase bool
 	parPhase        int
-	phase2Ring      []int
-	busFedRing      []bool
-	ringFedCentral  []bool
-	stationNext     []int64
-	ringNext        []int64
+
+	// Deferred serial tail: when the central ring has work at cycle N the
+	// parallel loop records it here instead of ticking inline, and performs
+	// the tick overlapped with cycle N+1's phase-1 dispatch (or at the next
+	// serial observation point, whichever comes first). See flushTail in
+	// parallel.go for the disjointness argument.
+	tailPending    bool
+	tailAt         int64
+	phase2Ring     []int
+	busFedRing     []bool
+	ringFedCentral []bool
+	stationNext    []int64
+	ringNext       []int64
 
 	// watchdogAt is the cycle at which the deadlock watchdog next samples
 	// progress; quiescence fast-forwards clamp to it so the watchdog trips
@@ -263,6 +287,7 @@ func New(cfg Config) (*Machine, error) {
 		m.inj = fault.New(cfg.FaultSeed, spec)
 	}
 	m.credits = ring.NewCredits(g.Stations(), p.MaxNonsinkable)
+	m.maskCache = topo.NewMaskCache(g)
 
 	for s := 0; s < g.Stations(); s++ {
 		// One message pool per station, shared by every component of that
@@ -270,6 +295,7 @@ func New(cfg Config) (*Machine, error) {
 		// worker or its ring's phase-2 worker, which the cycle barrier
 		// separates, so the pool needs no locking under any cycle loop.
 		pool := new(msg.MessagePool)
+		m.msgPools = append(m.msgPools, pool)
 		b := bus.New(g, p, s)
 		b.Msgs = pool
 		m.Buses = append(m.Buses, b)
@@ -306,6 +332,12 @@ func New(cfg Config) (*Machine, error) {
 		b.Attach(g.ModRI(), m.RIs[s])
 	}
 	m.buildRings()
+	for _, ri := range m.RIs {
+		m.pktPools = append(m.pktPools, ri.PacketPool())
+	}
+	for _, iri := range m.IRIs {
+		m.pktPools = append(m.pktPools, iri.PacketPool())
+	}
 	if !cfg.NaiveLoop {
 		m.gated = true
 		m.pollCPU = make([]int64, g.Procs())
@@ -578,7 +610,24 @@ func (m *Machine) Load(progs []proc.Program) {
 	for i := range m.liveCPU {
 		m.liveCPU[i] = m.runners[i] != nil
 	}
+	m.rebalancePools() // start the phase with leveled free lists
 	m.resetPolls()
+}
+
+// rebalanceEvery is the cycle cadence of the free-list leveling in Run.
+// The interval only has to bound how far a free list can drain between
+// levelings: cross-pool drift is a few structs per thousand cycles even
+// under the most asymmetric workloads, far below the working-set-sized
+// free lists a warmed-up machine carries.
+const rebalanceEvery = 1 << 13
+
+// rebalancePools levels every message and packet free list across the
+// machine (see msg.RebalancePackets). Callers must hold the serial point:
+// no shard may be running, and a deferred central tick must be flushed
+// first because it touches the IRI packet pools.
+func (m *Machine) rebalancePools() {
+	msg.RebalanceMessages(m.msgPools)
+	msg.RebalancePackets(m.pktPools)
 }
 
 // Step advances the machine one cycle in the fixed deterministic order:
@@ -967,6 +1016,7 @@ func (m *Machine) Run() int64 {
 		return false
 	}
 	lastRefs, lastAt := int64(-1), m.now
+	m.rebalanceAt = m.now + rebalanceEvery
 	if m.p.DeadlockCycles > 0 {
 		m.watchdogAt = lastAt + m.p.DeadlockCycles
 	}
@@ -983,7 +1033,9 @@ func (m *Machine) Run() int64 {
 		if m.onDrive != nil && m.now >= m.driveAt {
 			// Drive before the cycle's step: the driver sees the machine at
 			// the top of cycle now, before any component ticks, exactly as
-			// it would under the naive loop.
+			// it would under the naive loop. A deferred central tick from
+			// the previous cycle must land first.
+			m.flushTail()
 			m.onDrive(m)
 			m.driveAt = m.now + m.driveEvery
 		}
@@ -998,8 +1050,16 @@ func (m *Machine) Run() int64 {
 			m.wasQuiesced = q
 		}
 		if m.onSample != nil && m.now >= m.sampleAt {
+			m.flushTail()
 			m.onSample(m)
 			m.sampleAt = m.now + m.sampleEvery
+		}
+		if m.now >= m.rebalanceAt {
+			// Level the free lists so cross-pool migration cannot drain any
+			// pool below its steady-state working set mid-run.
+			m.flushTail()
+			m.rebalancePools()
+			m.rebalanceAt = m.now + rebalanceEvery
 		}
 		if m.p.DeadlockCycles > 0 && m.now-lastAt >= m.p.DeadlockCycles {
 			refs := m.totalRefs()
@@ -1073,6 +1133,7 @@ func (m *Machine) Drain() {
 // Idempotent; a no-op on the naive loop. Results() calls it before
 // snapshotting.
 func (m *Machine) SyncStats() {
+	m.flushTail() // the deferred central tick belongs to the last cycle
 	limit := m.now - 1
 	if limit < 0 {
 		return
@@ -1139,6 +1200,7 @@ func (m *Machine) SampleStationHealth(dst []StationHealth) []StationHealth {
 // Quiesced reports whether no messages remain anywhere in the machine and
 // no memory line is still locked by an unfinished lock transaction.
 func (m *Machine) Quiesced() bool {
+	m.flushTail() // a pending central tick is in-flight work
 	if !m.deliveryQuiet() {
 		return false
 	}

@@ -300,9 +300,18 @@ func (m *Machine) stepParallel() int {
 	if stationWork {
 		m.inParallelPhase = true
 		m.parPhase = 1
-		ticked += m.pool.Cycle(now)
+		// Overlap the previous cycle's deferred central tail with the
+		// phase-1 shards: the tail touches only interconnect state (central
+		// ring, IRI central ports, pollCentral/pollLocal/ringNext) while the
+		// shards touch only station state, so the caller can run it between
+		// releasing the workers and the barrier.
+		m.pool.CycleStart(now)
+		m.flushTail()
+		ticked += m.pool.CycleWait()
 		m.inParallelPhase = false
 		m.flushParallelArrivals(now)
+	} else {
+		m.flushTail()
 	}
 	// Merge the staged bus→ring influence marks at the serial point: two
 	// stations of one ring would otherwise write the same pollLocal entry
@@ -347,21 +356,55 @@ func (m *Machine) stepParallel() int {
 			}
 		}
 	}
+	deferred := false
 	if m.Central != nil && m.pollCentral <= now {
 		if w := m.Central.NextWork(now); w <= now {
-			m.Central.Tick(now)
+			// Defer the central tick (and the IRI observation that must
+			// follow it) into the next cycle's phase-1 window. The tick is
+			// counted now so a deferring cycle can never fast-forward away
+			// before the tail runs.
+			m.tailPending = true
+			m.tailAt = now
 			ticked++
-			m.pollCentral = now + 1
-			for r := range m.Locals {
-				if m.pollLocal[r] > now+1 {
-					m.pollLocal[r] = now + 1
-				}
-				if m.ringNext[r] > now+1 {
-					m.ringNext[r] = now + 1
-				}
-			}
+			deferred = true
 		} else {
 			m.pollCentral = w
+		}
+	}
+	if !deferred && now&31 == 0 {
+		for _, iri := range m.IRIs {
+			iri.ObserveAt(now)
+		}
+	}
+	m.now++
+	return ticked
+}
+
+// flushTail performs a deferred central-ring tick. It runs on the caller
+// goroutine, either overlapped with a phase-1 dispatch or at a serial
+// point (Quiesced, SyncStats, the run loop's drive/sample hooks call it
+// before observing). Overlap safety: phase-1 shards write only station
+// state and their own poll caches (pollCPU/pollBus/pollMem/pollNC,
+// stationNext, busFedRing); the tail writes only interconnect state — the
+// central ring, the IRIs' central ports, pollCentral, pollLocal, ringNext
+// — plus the atomic credit and message reference counters. The serial op
+// order is preserved exactly: phase 2 of cycle N finished before the
+// deferral was recorded, and the flush completes before anything of cycle
+// N+1 reads interconnect state.
+func (m *Machine) flushTail() {
+	if !m.tailPending {
+		return
+	}
+	m.tailPending = false
+	now := m.tailAt
+	m.Central.Tick(now)
+	m.pollCentral = now + 1
+	for r := range m.Locals {
+		if m.pollLocal[r] > now+1 {
+			m.pollLocal[r] = now + 1
+		}
+		if m.ringNext[r] > now+1 {
+			m.ringNext[r] = now + 1
 		}
 	}
 	if now&31 == 0 {
@@ -369,6 +412,4 @@ func (m *Machine) stepParallel() int {
 			iri.ObserveAt(now)
 		}
 	}
-	m.now++
-	return ticked
 }

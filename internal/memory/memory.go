@@ -152,6 +152,13 @@ type Module struct {
 	txnSeq uint64
 	locks  int // currently locked lines (kept in step by lock/unlock)
 
+	// txnFree recycles per-transition directory state: every locked line
+	// allocates a txn and frees it at unlock (the kill paths that complete
+	// without locking free theirs inline), so steady state allocates none.
+	// Single-owner like the module itself; plain LIFO, so reuse order is
+	// deterministic and txn pointers are never compared or used as keys.
+	txnFree []*txn
+
 	// InitData seeds the DRAM value of untouched lines (tests use it).
 	InitData uint64
 
@@ -464,19 +471,49 @@ func (m *Module) lock(e *entry, t *txn) {
 }
 
 func (m *Module) unlock(e *entry) {
+	t := e.txn
 	e.locked = false
 	e.txn = nil
 	m.locks--
+	m.freeTxn(t)
+}
+
+// newTxn returns a zeroed transition record, recycling a freed one when
+// available. Callers overwrite it wholesale (`*t = txn{...}`) so no field
+// survives reuse.
+func (m *Module) newTxn() *txn {
+	if n := len(m.txnFree) - 1; n >= 0 {
+		t := m.txnFree[n]
+		m.txnFree[n] = nil
+		m.txnFree = m.txnFree[:n]
+		return t
+	}
+	return new(txn)
+}
+
+// freeTxn releases a completed transition record. Under msg.PoolDebug a
+// double free panics at the second release, mirroring the message and
+// packet pools' guard discipline.
+func (m *Module) freeTxn(t *txn) {
+	if t == nil {
+		return
+	}
+	if msg.PoolDebug() {
+		for _, q := range m.txnFree {
+			if q == t {
+				panic("memory: txn double free")
+			}
+		}
+	}
+	*t = txn{}
+	m.txnFree = append(m.txnFree, t)
 }
 
 // remoteSharers reports whether the mask covers stations besides home.
+// Bit math only — expanding the covered set here was the directory's one
+// remaining per-call allocation.
 func (m *Module) remoteSharers(mask topo.RoutingMask) bool {
-	for _, s := range mask.CoveredStations(m.g) {
-		if s != m.Station {
-			return true
-		}
-	}
-	return false
+	return mask.CoversOther(m.g, m.Station)
 }
 
 // ---- the Figure 5 state machine ----
@@ -559,7 +596,9 @@ func (m *Module) localRead(e *entry, x *msg.Message, now int64) {
 			m.toProc(now, msg.ProcData, req, x.Line, e.data, 0)
 			return
 		}
-		m.lock(e, &txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn()})
+		t := m.newTxn()
+		*t = txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn()}
+		m.lock(e, t)
 		m.busInterv(now, x.Line, owner, req, false)
 	case GI:
 		owner, ok := e.mask.Exact(m.g)
@@ -567,7 +606,8 @@ func (m *Module) localRead(e *entry, x *msg.Message, now int64) {
 			panic(fmt.Sprintf("memory[%d]: line %#x at cycle %d: GI with non-exact or local owner %v",
 				m.Station, x.Line, now, e.mask))
 		}
-		t := &txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn(),
+		t := m.newTxn()
+		*t = txn{kind: msg.LocalRead, requester: x.Requester, reqStation: m.Station, id: m.nextTxn(),
 			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervShared, owner, x.Line, nil)
@@ -609,7 +649,9 @@ func (m *Module) localWrite(e *entry, x *msg.Message, now int64) {
 			m.toProc(now, msg.ProcDataEx, req, x.Line, e.data, 0)
 			return
 		}
-		m.lock(e, &txn{kind: msg.LocalReadEx, requester: x.Requester, reqStation: m.Station, id: m.nextTxn()})
+		t := m.newTxn()
+		*t = txn{kind: msg.LocalReadEx, requester: x.Requester, reqStation: m.Station, id: m.nextTxn()}
+		m.lock(e, t)
 		m.busInterv(now, x.Line, owner, req, true)
 		e.procs = bit // ownership will land on the requester
 	case GV:
@@ -621,7 +663,8 @@ func (m *Module) localWrite(e *entry, x *msg.Message, now int64) {
 			e.mask = m.homeMask()
 			return
 		}
-		t := &txn{kind: x.Type, requester: x.Requester, reqStation: m.Station,
+		t := m.newTxn()
+		*t = txn{kind: x.Type, requester: x.Requester, reqStation: m.Station,
 			id: m.nextTxn(), waitInval: true, upgdAck: upgd}
 		m.lock(e, t)
 		m.busInval(now, x.Line, e.procs&^bit)
@@ -633,7 +676,8 @@ func (m *Module) localWrite(e *entry, x *msg.Message, now int64) {
 		e.procs = bit
 	case GI:
 		owner, _ := e.mask.Exact(m.g)
-		t := &txn{kind: msg.LocalReadEx, requester: x.Requester, reqStation: m.Station, id: m.nextTxn(),
+		t := m.newTxn()
+		*t = txn{kind: msg.LocalReadEx, requester: x.Requester, reqStation: m.Station, id: m.nextTxn(),
 			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervEx, owner, x.Line, nil)
@@ -680,11 +724,14 @@ func (m *Module) remRead(e *entry, x *msg.Message, now int64) {
 		e.state = GV
 	case LI:
 		owner := m.onlyBit(e.procs, x.Line, now)
-		m.lock(e, &txn{kind: msg.RemRead, requester: -1, reqStation: src, id: m.nextTxn()})
+		t := m.newTxn()
+		*t = txn{kind: msg.RemRead, requester: -1, reqStation: src, id: m.nextTxn()}
+		m.lock(e, t)
 		m.busInterv(now, x.Line, owner, -1, false)
 	case GI:
 		owner, _ := e.mask.Exact(m.g)
-		t := &txn{kind: msg.RemRead, requester: -1, reqStation: src, id: m.nextTxn(),
+		t := m.newTxn()
+		*t = txn{kind: msg.RemRead, requester: -1, reqStation: src, id: m.nextTxn(),
 			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervShared, owner, x.Line, nil)
@@ -716,7 +763,8 @@ func (m *Module) remReadEx(e *entry, x *msg.Message, now int64, kind msg.Type) {
 		// (§2.3, Figure 7). The data response carries the home transaction
 		// id so the writer's NC can recognize the invalidation when it
 		// arrives.
-		t := &txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn(), waitInval: true, granted: true}
+		t := m.newTxn()
+		*t = txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn(), waitInval: true, granted: true}
 		d := m.toStation(now, msg.NetDataEx, src, x.Line, x)
 		d.Data, d.HasData, d.InvalFollows = e.data, true, true
 		d.TxnID = t.id
@@ -726,12 +774,15 @@ func (m *Module) remReadEx(e *entry, x *msg.Message, now int64, kind msg.Type) {
 		e.procs = 0
 	case LI:
 		owner := m.onlyBit(e.procs, x.Line, now)
-		m.lock(e, &txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn()})
+		t := m.newTxn()
+		*t = txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn()}
+		m.lock(e, t)
 		m.busInterv(now, x.Line, owner, -1, true)
 		e.procs = 0
 	case GI:
 		owner, _ := e.mask.Exact(m.g)
-		t := &txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn(),
+		t := m.newTxn()
+		*t = txn{kind: msg.RemReadEx, requester: -1, reqStation: src, id: m.nextTxn(),
 			netInterv: true, ownerStation: owner}
 		m.lock(e, t)
 		iv := m.toStation(now, msg.NetIntervEx, owner, x.Line, nil)
@@ -754,7 +805,8 @@ func (m *Module) remUpgd(e *entry, x *msg.Message, now int64) {
 		// Optimistic: the (possibly inexact) mask says the requester still
 		// has a valid copy, so answer with an acknowledgement only (§2.3).
 		m.Stats.OptimisticAcks.Inc()
-		t := &txn{kind: msg.RemUpgd, requester: -1, reqStation: src, id: m.nextTxn(), waitInval: true, granted: true}
+		t := m.newTxn()
+		*t = txn{kind: msg.RemUpgd, requester: -1, reqStation: src, id: m.nextTxn(), waitInval: true, granted: true}
 		a := m.toStation(now, msg.NetUpgdAck, src, x.Line, x)
 		a.InvalFollows = true
 		a.TxnID = t.id
@@ -1073,12 +1125,14 @@ func (m *Module) kill(e *entry, x *msg.Message, now int64) {
 		m.nak(now, x)
 		return
 	}
-	t := &txn{kind: msg.KillReq, requester: x.Requester, reqStation: x.ReqStation, id: m.nextTxn()}
+	t := m.newTxn()
+	*t = txn{kind: msg.KillReq, requester: x.Requester, reqStation: x.ReqStation, id: m.nextTxn()}
 	switch e.state {
 	case LV:
 		m.busInval(now, x.Line, e.procs)
 		e.procs = 0
 		m.killDone(t, x.Line, now)
+		m.freeTxn(t) // completed without locking
 	case GV:
 		m.busInval(now, x.Line, e.procs)
 		e.procs = 0
@@ -1090,6 +1144,7 @@ func (m *Module) kill(e *entry, x *msg.Message, now int64) {
 			e.state = LV
 			e.mask = m.homeMask()
 			m.killDone(t, x.Line, now)
+			m.freeTxn(t) // completed without locking
 		}
 	case LI:
 		owner := m.onlyBit(e.procs, x.Line, now)

@@ -1,0 +1,91 @@
+package memory
+
+import (
+	"testing"
+
+	"numachine/internal/msg"
+	"numachine/internal/sim"
+	"numachine/internal/topo"
+)
+
+// TestTxnPoolRecycles pins the free-list mechanics the directory relies
+// on: a freed transition record comes back zeroed from the next newTxn
+// (callers overwrite it wholesale, but a stale waitInval or write-back
+// flag would corrupt the state machine if zeroing were lost).
+func TestTxnPoolRecycles(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 4, StationsPerRing: 4, Rings: 2}
+	m := New(g, sim.DefaultParams(), 0)
+	a := m.newTxn()
+	a.kind = msg.LocalReadEx
+	a.waitInval = true
+	a.wbSeen = true
+	m.freeTxn(a)
+	b := m.newTxn()
+	if b != a {
+		t.Fatal("freed txn was not recycled")
+	}
+	if b.kind != 0 || b.waitInval || b.wbSeen {
+		t.Fatalf("recycled txn not zeroed: %+v", b)
+	}
+	if c := m.newTxn(); c == a {
+		t.Fatal("txn handed out twice")
+	}
+}
+
+// TestTxnPoolLeakFree releases a batch and re-acquires it: every record
+// must come back from the free list, none freshly allocated and none
+// stranded.
+func TestTxnPoolLeakFree(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 4, StationsPerRing: 4, Rings: 2}
+	m := New(g, sim.DefaultParams(), 0)
+	const n = 64
+	batch := make([]*txn, n)
+	seen := make(map[*txn]bool, n)
+	for i := range batch {
+		batch[i] = m.newTxn()
+		seen[batch[i]] = true
+	}
+	for _, t := range batch {
+		m.freeTxn(t)
+	}
+	if len(m.txnFree) != n {
+		t.Fatalf("free list holds %d records after %d frees", len(m.txnFree), n)
+	}
+	for i := 0; i < n; i++ {
+		if !seen[m.newTxn()] {
+			t.Fatal("newTxn allocated fresh with records on the free list")
+		}
+	}
+	if len(m.txnFree) != 0 {
+		t.Fatalf("free list holds %d records after draining", len(m.txnFree))
+	}
+}
+
+// TestTxnPoolDoubleFreePanics arms the shared pool-debug switch and frees
+// the same record twice — the guard must trip at the second free, exactly
+// like the message and packet pools' discipline.
+func TestTxnPoolDoubleFreePanics(t *testing.T) {
+	defer msg.SetPoolDebug(msg.SetPoolDebug(true))
+	g := topo.Geometry{ProcsPerStation: 4, StationsPerRing: 4, Rings: 2}
+	m := New(g, sim.DefaultParams(), 0)
+	x := m.newTxn()
+	m.freeTxn(x)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free not detected")
+		}
+	}()
+	m.freeTxn(x)
+}
+
+// TestTxnPoolNilFree mirrors the nil-safety the unlock path depends on:
+// entries can unlock without a transaction (e.g. kill of an unlocked
+// line), so freeTxn(nil) must be a no-op.
+func TestTxnPoolNilFree(t *testing.T) {
+	g := topo.Geometry{ProcsPerStation: 4, StationsPerRing: 4, Rings: 2}
+	m := New(g, sim.DefaultParams(), 0)
+	m.freeTxn(nil)
+	if len(m.txnFree) != 0 {
+		t.Fatal("freeTxn(nil) touched the free list")
+	}
+}

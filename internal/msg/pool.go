@@ -38,6 +38,11 @@ func SetPoolDebug(on bool) bool {
 	return prev
 }
 
+// PoolDebug reports whether double-free detection is armed. The directory
+// transaction pools in internal/memory and internal/netcache honor the
+// same switch so one soak guards every free list in the machine.
+func PoolDebug() bool { return poolDebug }
+
 // Get returns a zeroed packet, recycling a freed one when available.
 func (p *PacketPool) Get() *Packet {
 	if n := len(p.free) - 1; n >= 0 {
@@ -72,6 +77,42 @@ func (p *PacketPool) Put(pkt *Packet) {
 
 // Stats reports fresh allocations and recycled reuses (diagnostics).
 func (p *PacketPool) Stats() (news, hits int64) { return p.news, p.hits }
+
+// RebalancePackets levels the free lists across pools: every pool below
+// the mean free count is topped up from pools above it. Packets routinely
+// die at a different interface than the one that allocated them, so under
+// asymmetric traffic free packets pile up at the busy destinations while
+// the busy sources allocate fresh ones forever; periodic leveling at a
+// serial point turns that steady drift into a one-time warm-up cost.
+// Moving free entries between pools is invisible to the simulation —
+// recycled structs are zeroed and fully overwritten, and pointers are
+// never compared — so leveling cannot perturb bit-identical runs.
+func RebalancePackets(pools []*PacketPool) {
+	if len(pools) < 2 {
+		return
+	}
+	total := 0
+	for _, p := range pools {
+		total += len(p.free)
+	}
+	target := total / len(pools)
+	d := 0 // donor scan index; donors (above target) and receivers (below) are disjoint
+	for _, p := range pools {
+		for len(p.free) < target {
+			for d < len(pools) && len(pools[d].free) <= target {
+				d++
+			}
+			if d == len(pools) {
+				return
+			}
+			q := pools[d]
+			n := len(q.free) - 1
+			p.free = append(p.free, q.free[n])
+			q.free[n] = nil
+			q.free = q.free[:n]
+		}
+	}
+}
 
 // MessagePool is the Message counterpart of PacketPool. Messages are the
 // other steady-state allocation: every bus transaction, coherence action
@@ -138,4 +179,37 @@ func (p *MessagePool) Stats() (news, hits int64) {
 		return 0, 0
 	}
 	return p.news, p.hits
+}
+
+// RebalanceMessages is the MessagePool counterpart of RebalancePackets:
+// messages allocated by a source station are recycled into the consuming
+// station's pool, so asymmetric sharing (e.g. all hot lines homed on one
+// station) drains the requesters' free lists while the home station's pool
+// grows without bound. Leveling at a serial point keeps every station's
+// Get hitting its free list.
+func RebalanceMessages(pools []*MessagePool) {
+	if len(pools) < 2 {
+		return
+	}
+	total := 0
+	for _, p := range pools {
+		total += len(p.free)
+	}
+	target := total / len(pools)
+	d := 0
+	for _, p := range pools {
+		for len(p.free) < target {
+			for d < len(pools) && len(pools[d].free) <= target {
+				d++
+			}
+			if d == len(pools) {
+				return
+			}
+			q := pools[d]
+			n := len(q.free) - 1
+			p.free = append(p.free, q.free[n])
+			q.free[n] = nil
+			q.free = q.free[:n]
+		}
+	}
 }

@@ -159,6 +159,13 @@ type Module struct {
 	// retryLines tracks locked lines with a scheduled retry.
 	retryLines []uint64
 
+	// txnFree recycles per-transaction state: entry txns die when the
+	// entry unlocks (clearTxn), side-table txns when their line leaves
+	// sideTxns (dropSide), so steady state allocates none. Single-owner,
+	// plain LIFO, pointers never compared — same discipline as the memory
+	// module's pool.
+	txnFree []*txn
+
 	// retryRNG draws the deterministic back-off jitter for this NC's
 	// re-issues; it is consumed only while handling a NetNAK (a real-work
 	// event every cycle loop executes identically), never from idle ticks.
@@ -221,6 +228,52 @@ func (n *Module) BusDeliver(x *msg.Message, now int64) {
 func (n *Module) Idle() bool {
 	return n.inQ.Empty() && n.outQ.Empty() && n.staged == nil &&
 		len(n.sideTxns) == 0 && len(n.retryLines) == 0
+}
+
+// newTxn returns a zeroed transaction record, recycling a freed one when
+// available. Callers overwrite it wholesale (`*t = txn{...}`).
+func (n *Module) newTxn() *txn {
+	if i := len(n.txnFree) - 1; i >= 0 {
+		t := n.txnFree[i]
+		n.txnFree[i] = nil
+		n.txnFree = n.txnFree[:i]
+		return t
+	}
+	return new(txn)
+}
+
+// freeTxn releases a completed transaction record. Under msg.PoolDebug a
+// double free panics at the second release, mirroring the message and
+// packet pools' guard discipline.
+func (n *Module) freeTxn(t *txn) {
+	if t == nil {
+		return
+	}
+	if msg.PoolDebug() {
+		for _, q := range n.txnFree {
+			if q == t {
+				panic("netcache: txn double free")
+			}
+		}
+	}
+	*t = txn{}
+	n.txnFree = append(n.txnFree, t)
+}
+
+// clearTxn unlocks the entry and frees its transaction — the single death
+// point for entry transactions (txnRecover conversions reuse theirs in
+// place instead).
+func (n *Module) clearTxn(e *entry) {
+	t := e.txn
+	e.locked, e.txn = false, nil
+	n.freeTxn(t)
+}
+
+// dropSide removes the line's side-table transaction and frees it.
+func (n *Module) dropSide(line uint64) {
+	t := n.sideTxns[line]
+	delete(n.sideTxns, line)
+	n.freeTxn(t)
 }
 
 func (n *Module) slot(line uint64) *entry {

@@ -159,7 +159,8 @@ func (n *Module) localReq(x *msg.Message, now int64) {
 			if !x.Retry {
 				n.Stats.RemoteFetches.Inc()
 			}
-			t := &txn{kind: txnFetch, origType: msg.RemUpgd, reqProc: req,
+			t := n.newTxn()
+			*t = txn{kind: txnFetch, origType: msg.RemUpgd, reqProc: req,
 				home: e.home, upgdAck: x.Type == msg.LocalUpgd && e.procs&bit != 0}
 			e.locked, e.txn = true, t
 			n.sendHome(now, msg.RemUpgd, x.Line, t)
@@ -177,7 +178,8 @@ func (n *Module) localReq(x *msg.Message, now int64) {
 			n.toProc(now, msg.ProcDataEx, req, x.Line, e.data, 0)
 			return
 		}
-		t := &txn{kind: txnLocalInterv, origType: x.Type, reqProc: req, home: e.home, pending: 1}
+		t := n.newTxn()
+		*t = txn{kind: txnLocalInterv, origType: x.Type, reqProc: req, home: e.home, pending: 1}
 		e.locked, e.txn = true, t
 		n.busInterv(now, x.Line, 1<<uint(owner), req, x.Type != msg.LocalRead)
 		if x.Type == msg.LocalRead {
@@ -204,7 +206,8 @@ func (n *Module) prefetch(x *msg.Message, now int64) {
 		return // conflict with a locked entry: drop the hint
 	}
 	e.broughtBy = x.SrcMod
-	t := &txn{kind: txnFetch, origType: msg.RemRead, reqProc: -1, home: e.home}
+	t := n.newTxn()
+	*t = txn{kind: txnFetch, origType: msg.RemRead, reqProc: -1, home: e.home}
 	e.locked, e.txn = true, t
 	n.sendHome(now, msg.RemRead, x.Line, t)
 }
@@ -226,7 +229,8 @@ func (n *Module) startFetch(e *entry, x *msg.Message, now int64) {
 		// ack-only grant here could hand out ownership of nothing.)
 		rt = msg.RemReadEx
 	}
-	t := &txn{kind: txnFetch, origType: rt, reqProc: req, home: e.home}
+	t := n.newTxn()
+	*t = txn{kind: txnFetch, origType: rt, reqProc: req, home: e.home}
 	e.locked, e.txn = true, t
 	n.sendHome(now, rt, x.Line, t)
 }
@@ -323,7 +327,7 @@ func (n *Module) intervMiss(x *msg.Message, now int64) {
 				// write-back): report the miss and let the home complete.
 				miss := n.toNet(now, msg.NetIntervMiss, t.home, t.home, x.Line)
 				miss.TxnID = t.netTxnID
-				delete(n.sideTxns, x.Line)
+				n.dropSide(x.Line)
 			}
 		}
 		return
@@ -360,7 +364,7 @@ func (n *Module) checkIntervDone(e *entry, now int64) {
 			miss.TxnID = t.netTxnID
 			e.state = GI
 			e.procs = 0
-			e.locked, e.txn = false, nil
+			n.clearTxn(e)
 		case txnRecover:
 			// The false-remote bounce was stale: ownership moved (or the
 			// write-back reached home) while our request was in flight.
@@ -395,7 +399,7 @@ func (n *Module) checkIntervDone(e *entry, now int64) {
 				n.toProc(now, msg.ProcDataEx, t.reqProc, e.line, data, 0)
 			}
 		}
-		e.locked, e.txn = false, nil
+		n.clearTxn(e)
 	case txnNetServe:
 		n.finishNetServe(e, e.line, t, data, now)
 	case txnRecover:
@@ -414,7 +418,7 @@ func (n *Module) checkIntervDone(e *entry, now int64) {
 				n.toProc(now, msg.ProcData, t.reqProc, e.line, data, 0)
 			}
 		}
-		e.locked, e.txn = false, nil
+		n.clearTxn(e)
 	}
 }
 
@@ -432,7 +436,7 @@ func (n *Module) finishNetServe(e *entry, line uint64, t *txn, data uint64, now 
 		if e != nil {
 			e.state = GI
 			e.procs = 0
-			e.locked, e.txn = false, nil
+			n.clearTxn(e)
 		}
 	} else {
 		d := n.toNet(now, msg.NetData, t.reqStation, home, line)
@@ -444,11 +448,11 @@ func (n *Module) finishNetServe(e *entry, line uint64, t *txn, data uint64, now 
 		if e != nil {
 			e.data = data
 			e.state = GV
-			e.locked, e.txn = false, nil
+			n.clearTxn(e)
 		}
 	}
 	if e == nil {
-		delete(n.sideTxns, line)
+		n.dropSide(line)
 	}
 }
 
@@ -545,7 +549,11 @@ func (n *Module) falseRemote(x *msg.Message, now int64) {
 	}
 	if t.reqProc < 0 {
 		// A prefetch bounced off our own ownership: nothing to recover.
+		// Unlock and recycle the transaction as well — a locked invalid
+		// entry is unreachable (lookup and the snapshot encoder both skip
+		// invalid entries) and would only strand the txn.
 		e.valid = false
+		n.clearTxn(e)
 		return
 	}
 	// The home memory says this station already owns the line: recover by
@@ -580,7 +588,7 @@ func (n *Module) maybeCompleteFetch(e *entry, now int64) {
 		t.granted = true
 	}
 	if t.granted && (t.expectInvalID == 0 || t.invalSeen) {
-		e.locked, e.txn = false, nil
+		n.clearTxn(e)
 		if !n.p.NCEnabled && e.state == GV {
 			e.valid = false // ablation: the NC retains nothing it need not
 		}
@@ -699,7 +707,8 @@ func (n *Module) netInterv(x *msg.Message, now int64) {
 		}
 		// The home believes we own this line but the NC ejected it: the
 		// dirty copy is in a local L2 or its write-back is in flight.
-		t := &txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
+		t := n.newTxn()
+		*t = txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
 			netTxnID: x.TxnID, reqStation: x.ReqStation, ex: ex,
 			pending: n.g.ProcsPerStation}
 		n.sideTxns[x.Line] = t
@@ -713,15 +722,21 @@ func (n *Module) netInterv(x *msg.Message, now int64) {
 	}
 	switch e.state {
 	case LV, GV:
-		t := &txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
+		t := n.newTxn()
+		*t = txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
 			netTxnID: x.TxnID, reqStation: x.ReqStation, ex: ex}
 		if ex {
 			n.busInval(now, x.Line, e.procs)
 		}
+		// The service completes synchronously; the txn is never installed in
+		// the entry (finishNetServe's clearTxn sees e.txn == nil), so free it
+		// here.
 		n.finishNetServe(e, x.Line, t, e.data, now)
+		n.freeTxn(t)
 	case LI:
 		owner := onlyBit(e.procs)
-		t := &txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
+		t := n.newTxn()
+		*t = txn{kind: txnNetServe, origType: x.Type, reqProc: -1, home: home,
 			netTxnID: x.TxnID, reqStation: x.ReqStation, ex: ex, pending: 1}
 		e.locked, e.txn = true, t
 		n.busInterv(now, x.Line, 1<<uint(owner), -1, ex)

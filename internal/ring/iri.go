@@ -24,7 +24,11 @@ type IRI struct {
 
 	// pool recycles the descending copies this switch creates and the
 	// packets that die here (fully-copied multicast originals, switch-time
-	// drops). Phase-2-only, like every other IRI structure.
+	// drops). Packet deaths here release their message reference but never
+	// recycle the message even on the last release: the IRI owns no message
+	// pool and may run concurrently with station phase-1 workers (the
+	// central tick overlaps them in the parallel loop), so a zero-hit —
+	// possible only for fault-dropped requests — falls back to the GC.
 	pool msg.PacketPool
 
 	// UpDelay feeds Figure 18b (average delay in the upward path of the
@@ -118,7 +122,9 @@ func (l localPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 					if i.credits != nil {
 						i.credits.Release(pkt.Msg.SrcStation)
 					}
+					mm := pkt.Msg
 					i.pool.Put(pkt)
+					mm.Release()
 					return nil
 				}
 				pkt.ReadyAt = now + int64(i.p.IRICycles)
@@ -186,7 +192,9 @@ func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 						if i.credits != nil {
 							i.credits.Release(pkt.Msg.SrcStation)
 						}
+						mm := pkt.Msg
 						i.pool.Put(pkt)
+						mm.Release()
 						return nil
 					}
 					return pkt
@@ -194,6 +202,7 @@ func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 				// Copy the packet downward, clearing the higher-level field.
 				cp := i.pool.Get()
 				*cp = *pkt
+				cp.Msg.AddRef() // the descend copy aliases the message too
 				cp.Mask.Rings = 0
 				cp.ReadyAt = now + int64(i.p.IRICycles)
 				cp.EnqueuedAt = now
@@ -202,7 +211,11 @@ func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 					1, int32(cp.Msg.Type))
 				pkt.Mask.Rings &^= 1 << uint(i.RingID)
 				if pkt.Mask.Rings == 0 {
+					// Fully copied: the descend copies hold references, so
+					// this release cannot be the last.
+					mm := pkt.Msg
 					i.pool.Put(pkt)
+					mm.Release()
 					return nil
 				}
 			}
@@ -216,3 +229,12 @@ func (c centralPort) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 	}
 	return nil
 }
+
+// PoolStats reports the packet pool's fresh allocations and reuses.
+func (i *IRI) PoolStats() (news, hits int64) { return i.pool.Stats() }
+
+// PacketPool exposes the free list so the machine can level it against the
+// other interfaces' pools at serial points (see msg.RebalancePackets): the
+// IRI allocates every descend copy but the copies die at stations, so its
+// free list only ever drains.
+func (i *IRI) PacketPool() *msg.PacketPool { return &i.pool }

@@ -103,14 +103,17 @@ type StationRI struct {
 
 	// Msgs recycles messages whose last stop is this interface (nil-safe;
 	// wired by core, shared with the station's other components): loopback
-	// originals superseded by their private copy, and unicast reassembly
-	// originals once the last aliasing packet has been consumed. Multicast
-	// originals (Invalidate, NetInterrupt, NetBarrier) stay aliased by
-	// other stations' in-flight packets and are never recycled, nor is any
-	// dup-safe original when a fault injector could have packetized it
-	// twice. The pool is touched from the station's phase-1 worker
-	// (BusDeliver) and its ring's phase-2 worker (Tick), which the cycle
-	// barrier separates.
+	// originals superseded by their private copy, and network originals
+	// once the last aliasing packet has died. Aliasing is tracked by the
+	// message's packet reference count: BusDeliver seeds it with the number
+	// of packets created (including duplicate-fault chains), every copy —
+	// the per-station consume copy here, the per-ring descend copy in the
+	// IRI — adds one, and every packet death releases one. The releaser
+	// that drops the count to zero owns the message and recycles it to its
+	// own station's pool, so multicast and dup-faulted originals now
+	// recycle too instead of leaking to the GC. The pool is touched from
+	// the station's phase-1 worker (BusDeliver) and its ring's phase-2
+	// worker (HandleSlot/Tick), which the cycle barrier separates.
 	Msgs *msg.MessagePool
 
 	// Figure 18a measurements.
@@ -200,6 +203,9 @@ func (r *StationRI) BusDeliver(m *msg.Message, now int64) {
 		r.Dups.Inc()
 		r.Tr.Emit(now, trace.KindFaultDup, m.Line, m.TxnID, int32(m.Type), int32(n))
 	}
+	// Seed the reference count with the packets created below; copies made
+	// downstream add their own and the last death anywhere recycles m.
+	m.InitRefs(copies * n)
 	for c := 0; c < copies; c++ {
 		for i := 0; i < n; i++ {
 			pk := r.pool.Get()
@@ -231,13 +237,18 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 			if !r.inFIFO.Full() {
 				cp := r.pool.Get()
 				*cp = *pkt
+				cp.Msg.AddRef() // one more live packet aliases the message
 				r.inFIFO.Push(cp, now)
 				r.Tr.Emit(now, trace.KindFlitArrive, pkt.Msg.Line, pkt.Msg.TxnID,
 					int32(pkt.Msg.Type), int32(pkt.Seq))
 				pkt.Mask.Stations &^= 1 << uint(r.pos)
 				if pkt.Mask.Stations == 0 {
+					// Last destination: free the slot. The copy above holds a
+					// reference, so the release cannot be the message's last.
+					mm := pkt.Msg
 					r.pool.Put(pkt)
-					return nil // last destination: free the slot
+					mm.Release()
+					return nil
 				}
 			}
 		}
@@ -268,7 +279,11 @@ func (r *StationRI) HandleSlot(pkt *msg.Packet, now int64) *msg.Packet {
 				r.Drops.Inc()
 				r.Tr.Emit(now, trace.KindFaultDrop, pk.Msg.Line, pk.Msg.TxnID,
 					int32(pk.Msg.Type), 0)
+				mm := pk.Msg
 				r.pool.Put(pk)
+				if mm.Release() {
+					r.Msgs.Put(mm)
+				}
 				return nil
 			}
 			r.SendDelay.Sample(now - pk.EnqueuedAt)
@@ -335,6 +350,10 @@ func (r *StationRI) Tick(now int64) {
 		of := pkt.Of
 		r.pool.Put(pkt) // reassembly is keyed by m; the packet is done
 		if r.reasm[m] < of {
+			// Mid-chain packet: the chain's remaining packets hold further
+			// references, so this release cannot recycle m while the reasm
+			// maps still key on it.
+			m.Release()
 			continue
 		}
 		// Message complete: deliver a private copy to the bus.
@@ -357,13 +376,12 @@ func (r *StationRI) Tick(now int64) {
 		r.Tr.Emit(now, trace.KindFlitDeliver, m.Line, m.TxnID,
 			int32(m.Type), int32(now-first))
 		r.unpackBusy = now + int64(r.p.RIUnpackCycles)
-		// A unicast original is dead once its last packet reassembles: the
-		// bus sees only the private copy above. Multicast originals remain
-		// aliased by other stations' packets; with a fault injector present
-		// any dup-safe original may have a duplicate packet chain still in
-		// flight (keyed by this same pointer), so those are left to the GC.
-		if m.Type != msg.Invalidate && m.Type != msg.NetInterrupt && m.Type != msg.NetBarrier &&
-			(r.Fault == nil || !m.Type.DupSafe()) {
+		// The bus sees only the private copy above, so the original dies
+		// with its packets: release this one's reference last (Put zeroes m,
+		// so every read of m above must precede this) and recycle when no
+		// packet anywhere — another station's consume copies, a duplicate
+		// fault chain, an IRI descend copy — still aliases it.
+		if m.Release() {
 			r.Msgs.Put(m)
 		}
 	}
@@ -394,6 +412,10 @@ func (r *StationRI) route(m *msg.Message) {
 
 // PoolStats reports the packet pool's fresh allocations and reuses.
 func (r *StationRI) PoolStats() (news, hits int64) { return r.pool.Stats() }
+
+// PacketPool exposes the free list so the machine can level it against the
+// other interfaces' pools at serial points (see msg.RebalancePackets).
+func (r *StationRI) PacketPool() *msg.PacketPool { return &r.pool }
 
 // QueueStats exposes queue statistics for the monitoring reports.
 func (r *StationRI) QueueStats() (sendSink, sendNonsink, input sim.QueueStats) {

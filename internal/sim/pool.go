@@ -142,6 +142,15 @@ func (p *ShardPool) worker(w, lo, hi int, seen uint32) {
 // Cycle runs every shard once at cycle now and returns the summed shard
 // results. It blocks until all shards complete.
 func (p *ShardPool) Cycle(now int64) int {
+	p.CycleStart(now)
+	return p.CycleWait()
+}
+
+// CycleStart releases the workers into cycle now and returns immediately,
+// letting the caller overlap its own serial work with the shards. Every
+// CycleStart must be paired with exactly one CycleWait before the next
+// start; the caller-side work must not touch state any shard can write.
+func (p *ShardPool) CycleStart(now int64) {
 	if !p.running {
 		p.launch()
 	}
@@ -153,6 +162,13 @@ func (p *ShardPool) Cycle(now int64) int {
 		p.cond.Broadcast()
 		p.mu.Unlock()
 	}
+}
+
+// CycleWait blocks until every shard of the started cycle has finished —
+// the barrier half of Cycle — and returns the summed shard results. The
+// pending-counter load carries the happens-before edge making all shard
+// writes visible to the caller.
+func (p *ShardPool) CycleWait() int {
 	for p.pending.Load() != 0 {
 		runtime.Gosched()
 	}

@@ -1,0 +1,101 @@
+package topo
+
+import (
+	"testing"
+)
+
+// allMasks enumerates every routing mask expressible in a geometry's bit
+// widths, including the zero mask.
+func allMasks(g Geometry) []RoutingMask {
+	var out []RoutingMask
+	for r := 0; r < 1<<uint(g.Rings); r++ {
+		for s := 0; s < 1<<uint(g.StationsPerRing); s++ {
+			out = append(out, RoutingMask{Rings: uint16(r), Stations: uint16(s)})
+		}
+	}
+	return out
+}
+
+func TestCoversOtherMatchesExpansion(t *testing.T) {
+	g := Geometry{ProcsPerStation: 2, StationsPerRing: 3, Rings: 3}
+	for _, m := range allMasks(g) {
+		for st := 0; st < g.Stations(); st++ {
+			want := false
+			for _, c := range m.CoveredStations(g) {
+				if c != st {
+					want = true
+				}
+			}
+			if got := m.CoversOther(g, st); got != want {
+				t.Fatalf("CoversOther(%v, %d) = %v, want %v", m, st, got, want)
+			}
+		}
+	}
+}
+
+func TestMaskCacheMatchesCoveredStations(t *testing.T) {
+	g := Geometry{ProcsPerStation: 2, StationsPerRing: 4, Rings: 3}
+	c := NewMaskCache(g)
+	for _, m := range allMasks(g) {
+		want := m.CoveredStations(g)
+		got := c.Covered(m)
+		if len(got) != len(want) {
+			t.Fatalf("Covered(%v) = %v, want %v", m, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Covered(%v) = %v, want %v", m, got, want)
+			}
+		}
+		// Memoized: the second call must hand out the identical slice (and
+		// never return nil, even for the empty expansion — the flat table
+		// uses nil to mean "not yet computed").
+		if got == nil {
+			t.Fatalf("Covered(%v) returned nil", m)
+		}
+		again := c.Covered(m)
+		if len(got) > 0 && &got[0] != &again[0] {
+			t.Fatalf("Covered(%v) rebuilt the expansion instead of memoizing", m)
+		}
+	}
+}
+
+func TestMaskCacheMapFallback(t *testing.T) {
+	// 16 rings x 16 stations needs 32 mask bits — beyond the flat table's
+	// bound, so the cache must take the map path and still memoize.
+	g := Geometry{ProcsPerStation: 1, StationsPerRing: 16, Rings: 16}
+	c := NewMaskCache(g)
+	if c.table != nil {
+		t.Fatal("expected the map fallback for a 32-bit mask space")
+	}
+	m := g.MaskForStations(0, 17, 255)
+	want := m.CoveredStations(g)
+	got := c.Covered(m)
+	if len(got) != len(want) {
+		t.Fatalf("Covered(%v) = %v, want %v", m, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Covered(%v) = %v, want %v", m, got, want)
+		}
+	}
+	again := c.Covered(m)
+	if &got[0] != &again[0] {
+		t.Fatal("map-backed cache rebuilt the expansion instead of memoizing")
+	}
+}
+
+func TestMaskCacheCoveredNoAlloc(t *testing.T) {
+	g := Prototype
+	c := NewMaskCache(g)
+	m := g.MaskForStations(1, 6, 11)
+	c.Covered(m) // warm: the one-time expansion may allocate
+	avg := testing.AllocsPerRun(100, func() {
+		if len(c.Covered(m)) == 0 {
+			t.Fatal("empty expansion")
+		}
+	})
+	if avg != 0 {
+		t.Errorf("Covered allocates %.1f objects per warm call, want 0", avg)
+	}
+}

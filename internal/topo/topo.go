@@ -138,6 +138,85 @@ func (m RoutingMask) CountCovered(g Geometry) int {
 	return nr * np
 }
 
+// CoversOther reports whether the mask addresses any station besides the
+// given one — the home-directory "are there remote sharers" test — without
+// expanding the covered set. Pure bit math: with more than one covered
+// station at least one must differ, and a single covered station differs
+// exactly when it is not the given one.
+func (m RoutingMask) CoversOther(g Geometry, station int) bool {
+	switch m.CountCovered(g) {
+	case 0:
+		return false
+	case 1:
+		s, _ := m.Exact(g)
+		return s != station
+	}
+	return true
+}
+
+// MaskCache memoizes CoveredStations expansions per mask for one geometry.
+// The expansion is the one remaining per-call slice allocation on mask-fan
+// paths; the cache computes each distinct mask's slice once and hands out
+// the shared slice on every later call, so steady state allocates nothing.
+// Callers must treat the result as immutable.
+//
+// Entries are built lazily. Geometries whose mask space is small (the
+// common case — the prototype has 2^8 possible masks) index a flat table;
+// larger ones fall back to a map so a 16x16 geometry does not pay a
+// 2^32-entry table. A MaskCache is single-owner, like the module that
+// embeds it: memoization order is irrelevant to the (deterministic)
+// contents, so lazy fill cannot perturb simulated behaviour.
+type MaskCache struct {
+	g     Geometry
+	shift uint // Stations field width, for the table index
+	table [][]int
+	big   map[uint32][]int
+}
+
+// maskCacheTableBits bounds the flat table at 2^16 slice headers (~1.5 MB);
+// wider mask spaces use the map.
+const maskCacheTableBits = 16
+
+// NewMaskCache builds an empty cache for the geometry.
+func NewMaskCache(g Geometry) *MaskCache {
+	c := &MaskCache{g: g, shift: uint(g.StationsPerRing)}
+	if g.Rings+g.StationsPerRing <= maskCacheTableBits {
+		c.table = make([][]int, 1<<uint(g.Rings+g.StationsPerRing))
+	} else {
+		c.big = make(map[uint32][]int)
+	}
+	return c
+}
+
+// emptyCovered distinguishes "memoized as empty" from "not yet computed"
+// in the flat table, where both would otherwise be nil.
+var emptyCovered = make([]int, 0)
+
+// Covered returns the stations addressed by the mask, in order — the same
+// set as RoutingMask.CoveredStations — as a shared slice the caller must
+// not modify.
+func (c *MaskCache) Covered(m RoutingMask) []int {
+	key := uint32(m.Rings&(1<<uint(c.g.Rings)-1))<<c.shift |
+		uint32(m.Stations&(1<<c.shift-1))
+	if c.table != nil {
+		if s := c.table[key]; s != nil {
+			return s
+		}
+		s := m.CoveredStations(c.g)
+		if s == nil {
+			s = emptyCovered
+		}
+		c.table[key] = s
+		return s
+	}
+	if s, ok := c.big[key]; ok {
+		return s
+	}
+	s := m.CoveredStations(c.g)
+	c.big[key] = s
+	return s
+}
+
 // MultiRing reports whether the mask spans more than one local ring, i.e.
 // packets for it must ascend to the central ring.
 func (m RoutingMask) MultiRing() bool { return bits.OnesCount16(m.Rings) > 1 }
